@@ -1,0 +1,280 @@
+(* The dlearn command-line interface: generate the paper's workloads, run
+   any of the compared systems on them, inspect bottom clauses, and export
+   the generated data. *)
+
+open Cmdliner
+open Dlearn_relation
+open Dlearn_core
+open Dlearn_eval
+open Dlearn_query
+
+let dataset_names = [ "imdb1"; "imdb3"; "walmart"; "dblp" ]
+
+let make_dataset ?n name =
+  match name with
+  | "imdb1" -> Imdb_omdb.generate ?n `One_md
+  | "imdb3" -> Imdb_omdb.generate ?n `Three_mds
+  | "walmart" -> Walmart_amazon.generate ?n ()
+  | "dblp" -> Dblp_scholar.generate ?n ()
+  | other ->
+      raise
+        (Invalid_argument
+           (Printf.sprintf "unknown dataset %s (expected %s)" other
+              (String.concat "/" dataset_names)))
+
+let system_of_string = function
+  | "dlearn" -> Baselines.Dlearn
+  | "nomd" -> Baselines.Castor_nomd
+  | "exact" -> Baselines.Castor_exact
+  | "clean" -> Baselines.Castor_clean
+  | "cfd" -> Baselines.Dlearn_cfd
+  | "repaired" -> Baselines.Dlearn_repaired
+  | other ->
+      raise
+        (Invalid_argument
+           (Printf.sprintf
+              "unknown system %s (expected dlearn/nomd/exact/clean/cfd/repaired)"
+              other))
+
+(* Shared options. *)
+let dataset_arg =
+  let doc = "Workload: imdb1, imdb3, walmart or dblp." in
+  Arg.(value & opt string "imdb1" & info [ "dataset"; "d" ] ~docv:"NAME" ~doc)
+
+let n_arg =
+  let doc = "Scale: number of underlying entities to generate." in
+  Arg.(value & opt (some int) None & info [ "n"; "size" ] ~docv:"N" ~doc)
+
+let km_arg =
+  let doc = "Top similarity matches considered per value (km)." in
+  Arg.(value & opt (some int) None & info [ "km" ] ~docv:"K" ~doc)
+
+let depth_arg =
+  let doc = "Bottom-clause construction iterations (d)." in
+  Arg.(value & opt (some int) None & info [ "depth" ] ~docv:"D" ~doc)
+
+let p_arg =
+  let doc = "CFD-violation injection rate." in
+  Arg.(value & opt float 0.0 & info [ "p" ] ~docv:"P" ~doc)
+
+let verbose_arg =
+  let doc = "Log learner progress." in
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Info else Logs.App))
+
+let apply_overrides w km depth p =
+  let w = match km with Some k -> Experiment.with_km w k | None -> w in
+  let w = match depth with Some d -> Experiment.with_depth w d | None -> w in
+  if p > 0.0 then
+    Workload.inject_violations w ~p ~seed:w.Workload.config.Config.seed
+  else w
+
+(* dlearn datasets *)
+let datasets_cmd =
+  let run () =
+    List.iter
+      (fun name ->
+        let w = make_dataset name in
+        Printf.printf "%-8s %s\n" name (Workload.describe w))
+      dataset_names
+  in
+  Cmd.v (Cmd.info "datasets" ~doc:"List the available workloads.")
+    Term.(const run $ const ())
+
+(* dlearn learn *)
+let learn_cmd =
+  let system_arg =
+    let doc = "System: dlearn, nomd, exact, clean, cfd or repaired." in
+    Arg.(value & opt string "dlearn" & info [ "system"; "s" ] ~docv:"SYS" ~doc)
+  in
+  let folds_arg =
+    let doc = "Cross-validation folds." in
+    Arg.(value & opt int 5 & info [ "folds" ] ~docv:"K" ~doc)
+  in
+  let run dataset system n km depth p folds verbose =
+    setup_logs verbose;
+    let w = apply_overrides (make_dataset ?n dataset) km depth p in
+    let system = system_of_string system in
+    Printf.printf "%s\n" (Workload.describe w);
+    let r = Experiment.evaluate ~folds system w in
+    Printf.printf "%s: F1=%.2f (+/-%.2f) precision=%.2f recall=%.2f %.1fs/fold\n"
+      (Baselines.name system) r.Experiment.f1 r.Experiment.f1_std
+      r.Experiment.precision r.Experiment.recall r.Experiment.seconds
+  in
+  Cmd.v
+    (Cmd.info "learn" ~doc:"Cross-validate a system on a workload.")
+    Term.(
+      const run $ dataset_arg $ system_arg $ n_arg $ km_arg $ depth_arg $ p_arg
+      $ folds_arg $ verbose_arg)
+
+(* dlearn show *)
+let show_cmd =
+  let index_arg =
+    let doc = "Index of the positive example to inspect." in
+    Arg.(value & opt int 0 & info [ "example"; "e" ] ~docv:"I" ~doc)
+  in
+  let ground_arg =
+    let doc = "Show the ground bottom clause instead of the variable one." in
+    Arg.(value & flag & info [ "ground" ] ~doc)
+  in
+  let run dataset n km depth p index ground =
+    setup_logs false;
+    let w = apply_overrides (make_dataset ?n dataset) km depth p in
+    let ctx =
+      Context.create w.Workload.config w.Workload.db w.Workload.mds
+        w.Workload.cfds
+    in
+    let e = List.nth w.Workload.pos index in
+    Printf.printf "example: %s\n\n" (Tuple.to_string e);
+    let mode = if ground then Bottom_clause.Ground else Bottom_clause.Variable in
+    let c = Bottom_clause.build ctx mode e in
+    print_endline (Dlearn_logic.Clause.to_string c)
+  in
+  Cmd.v
+    (Cmd.info "show"
+       ~doc:"Print the bottom clause the learner builds for an example.")
+    Term.(
+      const run $ dataset_arg $ n_arg $ km_arg $ depth_arg $ p_arg $ index_arg
+      $ ground_arg)
+
+(* dlearn query *)
+let query_cmd =
+  let clause_arg =
+    let doc =
+      "The clause to evaluate, e.g. 'q(x) <- imdb_movies(x, t, y), t ~ t2, \
+       omdb_movies(o, t2, y2)'."
+    in
+    Arg.(required & opt (some string) None & info [ "clause"; "c" ] ~docv:"CLAUSE" ~doc)
+  in
+  let limit_arg =
+    let doc = "Maximum number of answers." in
+    Arg.(value & opt int 25 & info [ "limit" ] ~docv:"N" ~doc)
+  in
+  let run dataset n p clause limit =
+    let w = apply_overrides (make_dataset ?n dataset) None None p in
+    match Dlearn_logic.Parser.clause clause with
+    | Error msg -> Printf.eprintf "parse error %s\n" msg
+    | Ok c ->
+        let oracle = Conjunctive.oracle_of_spec w.Workload.config.Config.sim in
+        let rows = Conjunctive.answers ~limit w.Workload.db oracle c in
+        if rows = [] then print_endline "(no answers)"
+        else
+          Text_table.print
+            ~header:
+              (List.init
+                 (Tuple.arity (List.hd rows))
+                 (fun i -> Printf.sprintf "col%d" i))
+            (List.map
+               (fun t ->
+                 List.init (Tuple.arity t) (fun i ->
+                     Value.to_string (Tuple.get t i)))
+               rows)
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Evaluate a conjunctive query over a workload.")
+    Term.(const run $ dataset_arg $ n_arg $ p_arg $ clause_arg $ limit_arg)
+
+(* dlearn explain *)
+let explain_cmd =
+  let clause_arg =
+    let doc = "The clause whose coverage to explain." in
+    Arg.(required & opt (some string) None & info [ "clause"; "c" ] ~docv:"CLAUSE" ~doc)
+  in
+  let example_arg =
+    let doc = "Index of the positive example to explain." in
+    Arg.(value & opt int 0 & info [ "example"; "e" ] ~docv:"I" ~doc)
+  in
+  let run dataset n km depth p clause index =
+    setup_logs false;
+    let w = apply_overrides (make_dataset ?n dataset) km depth p in
+    match Dlearn_logic.Parser.clause clause with
+    | Error msg -> Printf.eprintf "parse error %s\n" msg
+    | Ok c -> (
+        let ctx =
+          Context.create w.Workload.config w.Workload.db w.Workload.mds
+            w.Workload.cfds
+        in
+        let e = List.nth w.Workload.pos index in
+        Printf.printf "example: %s\n" (Tuple.to_string e);
+        match Explain.positive ctx c e with
+        | Some explanation -> print_endline explanation
+        | None -> print_endline "the clause does not cover this example")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Explain why a clause covers (or fails to cover) an example.")
+    Term.(
+      const run $ dataset_arg $ n_arg $ km_arg $ depth_arg $ p_arg $ clause_arg
+      $ example_arg)
+
+(* dlearn profile *)
+let profile_cmd =
+  let pair_arg =
+    let doc = "Two relation names to profile for matching dependencies." in
+    Arg.(value & opt (some (pair string string)) None & info [ "match" ] ~docv:"R1,R2" ~doc)
+  in
+  let run dataset n pair =
+    let w = make_dataset ?n dataset in
+    let db = w.Workload.db in
+    (match pair with
+    | Some (left, right) ->
+        Printf.printf "MD candidates between %s and %s:\n" left right;
+        List.iter
+          (fun (md, stats) ->
+            Printf.printf "  %s (coverage %.2f, ambiguity %.2f)\n"
+              (Dlearn_constraints.Md.to_string md)
+              stats.Dlearn_profiling.Md_discovery.coverage
+              stats.Dlearn_profiling.Md_discovery.ambiguity)
+          (Dlearn_profiling.Md_discovery.discover db left right)
+    | None -> ());
+    print_endline "Functional dependencies (lhs of size 1):";
+    List.iter
+      (fun r ->
+        List.iter
+          (fun fd ->
+            Printf.printf "  %s: %s -> %s\n" (Relation.name r)
+              (String.concat "," fd.Dlearn_profiling.Fd_discovery.lhs)
+              fd.Dlearn_profiling.Fd_discovery.rhs)
+          (Dlearn_profiling.Fd_discovery.discover ~max_lhs:1 r))
+      (Database.relations db)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Discover matching dependencies and FDs in a workload.")
+    Term.(const run $ dataset_arg $ n_arg $ pair_arg)
+
+(* dlearn export *)
+let export_cmd =
+  let dir_arg =
+    let doc = "Directory to write one CSV per relation into." in
+    Arg.(value & opt string "." & info [ "out"; "o" ] ~docv:"DIR" ~doc)
+  in
+  let run dataset n p dir =
+    let w = apply_overrides (make_dataset ?n dataset) None None p in
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    List.iter
+      (fun r ->
+        let path = Filename.concat dir (Relation.name r ^ ".csv") in
+        Csv.save r path;
+        Printf.printf "wrote %s (%d tuples)\n" path (Relation.cardinality r))
+      (Database.relations w.Workload.db)
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Export a generated workload as CSV files.")
+    Term.(const run $ dataset_arg $ n_arg $ p_arg $ dir_arg)
+
+let main =
+  let info =
+    Cmd.info "dlearn" ~version:"1.0.0"
+      ~doc:"Learning over dirty data without cleaning (SIGMOD 2020)."
+  in
+  Cmd.group info
+    [
+      datasets_cmd; learn_cmd; show_cmd; query_cmd; explain_cmd; profile_cmd;
+      export_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,92 @@
+(* Quickstart: learn a definition directly over a small dirty database.
+
+   Two sources describe the same movies: IMDB-style rows keyed by id, and
+   BOM-style rating rows keyed by a *differently formatted* title. No
+   cleaning happens; a matching dependency declares the titles similar,
+   and DLearn learns across the heterogeneity.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Dlearn_relation
+open Dlearn_constraints
+open Dlearn_core
+
+let () =
+  (* 1. Build the database. *)
+  let db = Database.create () in
+  let movies =
+    Database.create_relation db
+      (Schema.string_attrs "movies" [ "id"; "title"; "year" ])
+  in
+  Relation.insert_all movies
+    [
+      Tuple.of_strings [ "m1"; "Superbad (2007)"; "2007" ];
+      Tuple.of_strings [ "m2"; "Zoolander (2001)"; "2001" ];
+      Tuple.of_strings [ "m3"; "The Orphanage (2007)"; "2007" ];
+      Tuple.of_strings [ "m4"; "Alien (1979)"; "1979" ];
+    ];
+  let genres =
+    Database.create_relation db (Schema.string_attrs "genres" [ "id"; "genre" ])
+  in
+  Relation.insert_all genres
+    [
+      Tuple.of_strings [ "m1"; "comedy" ];
+      Tuple.of_strings [ "m2"; "comedy" ];
+      Tuple.of_strings [ "m3"; "drama" ];
+      Tuple.of_strings [ "m4"; "scifi" ];
+    ];
+  let ratings =
+    Database.create_relation db
+      (Schema.string_attrs "ratings" [ "title"; "rating" ])
+  in
+  Relation.insert_all ratings
+    [
+      Tuple.of_strings [ "Superbad [2007]"; "R" ];
+      Tuple.of_strings [ "Zoolander [2001]"; "PG-13" ];
+      Tuple.of_strings [ "The Orphanage [2007]"; "R" ];
+      Tuple.of_strings [ "Alien [1979]"; "R" ];
+    ];
+  print_endline "The database (note the two title formats):";
+  print_string (Text_table.of_relation movies);
+  print_string (Text_table.of_relation ratings);
+
+  (* 2. Declare the matching dependency: similar titles refer to the same
+     movie. *)
+  let md =
+    Md.make ~id:"titles" ~left:"movies" ~right:"ratings"
+      ~compared:[ ("title", "title") ] ~unified:("title", "title") ()
+  in
+  Printf.printf "\nMD: %s\n\n" (Md.to_string md);
+
+  (* 3. Configure the learner and give it training examples for the target
+     relation restricted(id): movies rated R. *)
+  let target = Schema.string_attrs "restricted" [ "id" ] in
+  let config =
+    {
+      (Config.default ~target) with
+      Config.constant_attrs = [ ("ratings", "rating"); ("genres", "genre") ];
+      sim = { Md.default_sim with Md.threshold = 0.7 };
+    }
+  in
+  let ctx = Context.create config db [ md ] [] in
+  let pos = [ Tuple.of_strings [ "m1" ]; Tuple.of_strings [ "m3" ]; Tuple.of_strings [ "m4" ] ] in
+  let neg = [ Tuple.of_strings [ "m2" ] ] in
+
+  (* 4. Peek at the bottom clause the learner starts from: similarity
+     literals and repair literals represent the possible repairs. *)
+  let bottom = Bottom_clause.build ctx Bottom_clause.Variable (List.hd pos) in
+  Printf.printf "Bottom clause of restricted(m1):\n%s\n\n"
+    (Dlearn_logic.Clause.to_string bottom);
+
+  (* 5. Learn. *)
+  let result = Learner.learn ctx ~pos ~neg in
+  Printf.printf "Learned definition (%.2fs):\n%s\n\n" result.Learner.seconds
+    (Dlearn_logic.Definition.to_string result.Learner.definition);
+
+  (* 6. Use it. *)
+  List.iter
+    (fun id ->
+      let e = Tuple.of_strings [ id ] in
+      Printf.printf "restricted(%s)? %b\n" id
+        (Learner.predict ctx result.Learner.definition e))
+    [ "m1"; "m2"; "m3"; "m4" ]

@@ -1,0 +1,63 @@
+open Dlearn_relation
+
+type pattern =
+  | Const of Value.t
+  | Wildcard
+
+type t = {
+  id : string;
+  relation : string;
+  lhs : (string * pattern) list;
+  rhs : string * pattern;
+}
+
+let make ~id ~relation ~lhs ~rhs =
+  if lhs = [] then invalid_arg "Cfd.make: empty left-hand side";
+  let rhs_attr = fst rhs in
+  if List.mem_assoc rhs_attr lhs then
+    invalid_arg
+      (Printf.sprintf "Cfd.make: %s appears on both sides of %s" rhs_attr id);
+  { id; relation; lhs; rhs }
+
+let fd ~id ~relation xs a =
+  make ~id ~relation
+    ~lhs:(List.map (fun x -> (x, Wildcard)) xs)
+    ~rhs:(a, Wildcard)
+
+let matches p v =
+  match p with Wildcard -> true | Const c -> Value.equal c v
+
+let lhs_positions t schema =
+  List.map (fun (attr, p) -> (Schema.position schema attr, p)) t.lhs
+
+let rhs_position t schema =
+  let attr, p = t.rhs in
+  (Schema.position schema attr, p)
+
+let pair_violates t schema t1 t2 =
+  let lhs = lhs_positions t schema in
+  let rhs_pos, rhs_pat = rhs_position t schema in
+  let lhs_agrees_and_matches =
+    List.for_all
+      (fun (pos, pat) ->
+        Value.equal (Tuple.get t1 pos) (Tuple.get t2 pos)
+        && matches pat (Tuple.get t1 pos))
+      lhs
+  in
+  lhs_agrees_and_matches
+  && not
+       (Value.equal (Tuple.get t1 rhs_pos) (Tuple.get t2 rhs_pos)
+       && matches rhs_pat (Tuple.get t1 rhs_pos))
+
+let pattern_to_string = function
+  | Wildcard -> "-"
+  | Const c -> Value.to_string c
+
+let to_string t =
+  let lhs_attrs = String.concat ", " (List.map fst t.lhs) in
+  let lhs_pats = String.concat ", " (List.map (fun (_, p) -> pattern_to_string p) t.lhs) in
+  let rhs_attr, rhs_pat = t.rhs in
+  Printf.sprintf "%s: %s(%s -> %s, (%s || %s))" t.id t.relation lhs_attrs
+    rhs_attr lhs_pats (pattern_to_string rhs_pat)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

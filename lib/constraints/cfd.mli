@@ -1,0 +1,56 @@
+(** Conditional functional dependencies (§2.3).
+
+    A CFD [(X → A, tp)] over relation [R] couples an FD with a pattern
+    tuple [tp] over [X ∪ {A}]; each pattern entry is a constant or the
+    unnamed wildcard ['-']. A pair of tuples violates the CFD when they
+    agree on [X], match the pattern on [X], and fail to agree on [A] while
+    matching [tp\[A\]] (a single tuple can violate a constant right-hand
+    side on its own — the pair (t, t)). Following the paper we keep a
+    single attribute on the right-hand side. *)
+
+type pattern =
+  | Const of Dlearn_relation.Value.t
+  | Wildcard
+
+type t = {
+  id : string;
+  relation : string;
+  lhs : (string * pattern) list;  (** X with its pattern entries *)
+  rhs : string * pattern;  (** A with its pattern entry *)
+}
+
+(** [make ~id ~relation ~lhs ~rhs] builds a CFD.
+    @raise Invalid_argument if [lhs] is empty or [rhs]'s attribute also
+    appears in [lhs]. *)
+val make :
+  id:string ->
+  relation:string ->
+  lhs:(string * pattern) list ->
+  rhs:string * pattern ->
+  t
+
+(** [fd ~id ~relation xs a] is the plain FD [X → A] (all wildcards). *)
+val fd : id:string -> relation:string -> string list -> string -> t
+
+(** [matches p v] is the paper's [≍]: [v ≍ p] when [p] is the wildcard or
+    the equal constant. *)
+val matches : pattern -> Dlearn_relation.Value.t -> bool
+
+(** [lhs_positions t schema] resolves attribute names to positions.
+    @raise Not_found if an attribute is missing from [schema]. *)
+val lhs_positions : t -> Dlearn_relation.Schema.t -> (int * pattern) list
+
+val rhs_position : t -> Dlearn_relation.Schema.t -> int * pattern
+
+(** [pair_violates t schema t1 t2] holds when the tuple pair violates the
+    CFD. *)
+val pair_violates :
+  t ->
+  Dlearn_relation.Schema.t ->
+  Dlearn_relation.Tuple.t ->
+  Dlearn_relation.Tuple.t ->
+  bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

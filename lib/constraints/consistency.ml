@@ -1,0 +1,72 @@
+open Dlearn_relation
+
+let single_relation_consistent (cfds : Cfd.t list) =
+  match cfds with
+  | [] -> invalid_arg "Consistency.single_relation_consistent: empty set"
+  | first :: rest ->
+      if
+        not
+          (List.for_all
+             (fun c -> String.equal c.Cfd.relation first.Cfd.relation)
+             rest)
+      then
+        invalid_arg
+          "Consistency.single_relation_consistent: CFDs over several relations";
+      (* Relevant attributes and their candidate values: every pattern
+         constant mentioned for the attribute, plus one fresh value that
+         differs from all of them. *)
+      let attrs =
+        List.concat_map
+          (fun (c : Cfd.t) -> fst c.Cfd.rhs :: List.map fst c.Cfd.lhs)
+          cfds
+        |> List.sort_uniq String.compare
+      in
+      let candidates attr =
+        let consts =
+          List.concat_map
+            (fun (c : Cfd.t) ->
+              List.filter_map
+                (fun (a, p) ->
+                  match p with
+                  | Cfd.Const v when String.equal a attr -> Some v
+                  | _ -> None)
+                (c.Cfd.rhs :: c.Cfd.lhs))
+            cfds
+          |> List.sort_uniq Value.compare
+        in
+        consts @ [ Value.String ("\xe2\x8a\xa5other:" ^ attr) ]
+      in
+      let tuple_ok assignment =
+        List.for_all
+          (fun (c : Cfd.t) ->
+            let value attr = List.assoc attr assignment in
+            let lhs_matches =
+              List.for_all
+                (fun (a, p) -> Cfd.matches p (value a))
+                c.Cfd.lhs
+            in
+            let rhs_attr, rhs_pat = c.Cfd.rhs in
+            (not lhs_matches) || Cfd.matches rhs_pat (value rhs_attr))
+          cfds
+      in
+      let rec search assignment = function
+        | [] -> tuple_ok assignment
+        | attr :: more ->
+            List.exists
+              (fun v -> search ((attr, v) :: assignment) more)
+              (candidates attr)
+      in
+      search [] attrs
+
+let consistent cfds =
+  let by_relation = Hashtbl.create 8 in
+  List.iter
+    (fun (c : Cfd.t) ->
+      let existing =
+        Option.value ~default:[] (Hashtbl.find_opt by_relation c.Cfd.relation)
+      in
+      Hashtbl.replace by_relation c.Cfd.relation (c :: existing))
+    cfds;
+  Hashtbl.fold
+    (fun _ group acc -> acc && single_relation_consistent group)
+    by_relation true

@@ -1,0 +1,20 @@
+(** Consistency of CFD sets (§2.3).
+
+    A set of CFDs over one relation can be unsatisfiable by any non-empty
+    instance — e.g. [(A → B, a1 || b1)] and [(B → A, b1 || a2)]. By the
+    classical reduction (Bohannon et al. 2007), a CFD set over a single
+    relation is consistent iff {e one} tuple can satisfy every CFD, where
+    a lone tuple [t] violates [(X → A, tp)] exactly when [t\[X\] ≍ tp\[X\]]
+    but [t\[A\]] fails to match a constant [tp\[A\]]. We decide this by
+    backtracking over the finitely many relevant values per attribute
+    (pattern constants plus one fresh value). *)
+
+(** [single_relation_consistent cfds] decides consistency of the CFDs,
+    which must all range over the same relation.
+    @raise Invalid_argument when they do not, or when [cfds] is empty. *)
+val single_relation_consistent : Cfd.t list -> bool
+
+(** [consistent cfds] groups the CFDs by relation and checks each group;
+    CFDs over different relations never interact. An empty set is
+    consistent. *)
+val consistent : Cfd.t list -> bool

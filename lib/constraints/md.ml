@@ -1,0 +1,89 @@
+open Dlearn_relation
+
+type t = {
+  id : string;
+  left_rel : string;
+  right_rel : string;
+  compared : (string * string) list;
+  unified : string * string;
+  threshold_override : float option;
+}
+
+type sim_spec = {
+  measure : Dlearn_similarity.Combined.measure;
+  threshold : float;
+}
+
+let default_sim = { measure = Dlearn_similarity.Combined.Paper; threshold = 0.6 }
+
+let make ~id ~left ~right ~compared ~unified ?threshold () =
+  if compared = [] then invalid_arg "Md.make: no compared attributes";
+  {
+    id;
+    left_rel = left;
+    right_rel = right;
+    compared;
+    unified;
+    threshold_override = threshold;
+  }
+
+let symmetric ?threshold ~id rel1 rel2 attr =
+  make ~id ~left:rel1 ~right:rel2 ~compared:[ (attr, attr) ]
+    ~unified:(attr, attr) ?threshold ()
+
+let effective_spec t spec =
+  match t.threshold_override with
+  | Some threshold -> { spec with threshold }
+  | None -> spec
+
+let mentions t rel = String.equal t.left_rel rel || String.equal t.right_rel rel
+
+let to_string t =
+  let compared =
+    String.concat ", "
+      (List.map
+         (fun (a, b) -> Printf.sprintf "%s[%s] ~ %s[%s]" t.left_rel a t.right_rel b)
+         t.compared)
+  in
+  let c, d = t.unified in
+  Printf.sprintf "%s: %s -> %s[%s] <=> %s[%s]" t.id compared t.left_rel c
+    t.right_rel d
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+module Merge = struct
+  let prefix = "\xe2\x9f\xa8" (* U+27E8 mathematical left angle bracket *)
+  let suffix = "\xe2\x9f\xa9"
+  let sep = "|"
+
+  let is_merged = function
+    | Value.String s ->
+        String.length s >= String.length prefix
+        && String.sub s 0 (String.length prefix) = prefix
+    | Value.Null | Value.Int _ | Value.Float _ -> false
+
+  let components v =
+    match v with
+    | Value.String s when is_merged v ->
+        let inner =
+          String.sub s (String.length prefix)
+            (String.length s - String.length prefix - String.length suffix)
+        in
+        String.split_on_char '|' inner
+    | _ -> [ Value.to_string v ]
+
+  let merge a b =
+    let parts =
+      List.sort_uniq String.compare (components a @ components b)
+    in
+    Value.String (prefix ^ String.concat sep parts ^ suffix)
+end
+
+let similar spec a b =
+  if Value.is_null a || Value.is_null b then false
+  else if Value.equal a b then true
+  else if Merge.is_merged a || Merge.is_merged b then false
+  else
+    Dlearn_similarity.Combined.similarity ~measure:spec.measure
+      (Value.as_string a) (Value.as_string b)
+    >= spec.threshold

@@ -1,0 +1,76 @@
+(** Matching dependencies (§2.2).
+
+    An MD [R1\[A1..An\] ≈ R2\[B1..Bn\] → R1\[C\] ⇌ R2\[D\]] states that
+    when the compared attribute pairs are pairwise similar, the values of
+    the unified attribute pair refer to the same value and are
+    interchangeable. Following the paper we assume one unified pair per MD
+    (a multi-pair MD is equivalent to a set of such MDs). *)
+
+type t = {
+  id : string;
+  left_rel : string;
+  right_rel : string;
+  compared : (string * string) list;
+      (** attribute pairs (Ai, Bi) whose similarity triggers the MD *)
+  unified : string * string;  (** the (C, D) pair made interchangeable *)
+  threshold_override : float option;
+      (** per-MD similarity threshold — the paper's [≈_d] is defined per
+          domain (§2.2), so an MD over person names may use a stricter
+          operator than one over titles; [None] uses the global spec *)
+}
+
+(** Parameters of the similarity operator [≈] used when enforcing MDs. *)
+type sim_spec = {
+  measure : Dlearn_similarity.Combined.measure;
+  threshold : float;
+}
+
+val default_sim : sim_spec
+(** The paper's operator at threshold 0.6. *)
+
+(** [make ~id ~left ~right ~compared ~unified] builds an MD.
+    @raise Invalid_argument if [compared] is empty. *)
+val make :
+  id:string ->
+  left:string ->
+  right:string ->
+  compared:(string * string) list ->
+  unified:string * string ->
+  ?threshold:float ->
+  unit ->
+  t
+
+(** [symmetric ~id rel1 rel2 attr] is the common single-attribute MD
+    [rel1\[attr\] ≈ rel2\[attr\] → rel1\[attr\] ⇌ rel2\[attr\]]. *)
+val symmetric : ?threshold:float -> id:string -> string -> string -> string -> t
+
+(** [effective_spec t spec] is [spec] with the MD's threshold override
+    applied. *)
+val effective_spec : t -> sim_spec -> sim_spec
+
+(** [similar spec a b] applies the MD similarity operator to two values.
+    Values produced by a previous merge ({!Merge.is_merged}) are only
+    similar to equal values — fresh merged values carry no heterogeneity. *)
+val similar : sim_spec -> Dlearn_relation.Value.t -> Dlearn_relation.Value.t -> bool
+
+(** [mentions t rel] holds when [rel] is one of the MD's relations. *)
+val mentions : t -> string -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+(** Canonical fresh values [v_{a,b}] created by matching two values
+    (§2.2): the merge of two values is a value recording the sorted set of
+    base values it unifies, so that repeated merging is associative,
+    commutative and idempotent — which makes stable-instance enumeration
+    deterministic up to application order. *)
+module Merge : sig
+  val merge : Dlearn_relation.Value.t -> Dlearn_relation.Value.t -> Dlearn_relation.Value.t
+
+  val is_merged : Dlearn_relation.Value.t -> bool
+
+  (** [components v] lists the base strings a merged value unifies;
+      a non-merged value is its own single component. *)
+  val components : Dlearn_relation.Value.t -> string list
+end

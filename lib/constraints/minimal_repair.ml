@@ -1,0 +1,129 @@
+open Dlearn_relation
+
+let src = Logs.Src.create "dlearn.repair"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* One repair pass for one CFD: unify each violating group's rhs values. *)
+let repair_pass (cfd : Cfd.t) relation =
+  let schema = Relation.schema relation in
+  let lhs = Cfd.lhs_positions cfd schema in
+  let rhs_pos, rhs_pat = Cfd.rhs_position cfd schema in
+  let groups : (string, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  Relation.iter
+    (fun id tuple ->
+      if List.for_all (fun (pos, pat) -> Cfd.matches pat (Tuple.get tuple pos)) lhs
+      then begin
+        let key =
+          String.concat "\x00"
+            (List.map (fun (pos, _) -> Value.to_string (Tuple.get tuple pos)) lhs)
+        in
+        match Hashtbl.find_opt groups key with
+        | Some ids -> ids := id :: !ids
+        | None -> Hashtbl.add groups key (ref [ id ])
+      end)
+    relation;
+  (* Decide the target value of every group that needs repair. *)
+  let targets : (int, Value.t) Hashtbl.t = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun _ ids ->
+      let ids = !ids in
+      let values =
+        List.map (fun id -> Tuple.get (Relation.get relation id) rhs_pos) ids
+      in
+      let all_equal =
+        match values with
+        | [] -> true
+        | v :: rest -> List.for_all (Value.equal v) rest
+      in
+      let all_match = List.for_all (Cfd.matches rhs_pat) values in
+      if not (all_equal && all_match) then begin
+        let target =
+          match rhs_pat with
+          | Cfd.Const c -> c
+          | Cfd.Wildcard ->
+              (* Most frequent value; ties resolved by value order for
+                 determinism. *)
+              let counts = Hashtbl.create 8 in
+              List.iter
+                (fun v ->
+                  let k = Value.to_string v in
+                  Hashtbl.replace counts k
+                    (match Hashtbl.find_opt counts k with
+                    | Some (n, _) -> (n + 1, v)
+                    | None -> (1, v)))
+                values;
+              Hashtbl.fold
+                (fun _ (n, v) best ->
+                  match best with
+                  | Some (bn, bv)
+                    when bn > n || (bn = n && Value.compare bv v <= 0) ->
+                      best
+                  | _ -> Some (n, v))
+                counts None
+              |> Option.map snd
+              |> Option.value ~default:Value.Null
+        in
+        List.iter (fun id -> Hashtbl.replace targets id target) ids
+      end)
+    groups;
+  if Hashtbl.length targets = 0 then (relation, false)
+  else begin
+    let fresh = Relation.create schema in
+    Relation.iter
+      (fun id tuple ->
+        let tuple' =
+          match Hashtbl.find_opt targets id with
+          | Some v -> Tuple.set tuple rhs_pos v
+          | None -> tuple
+        in
+        ignore (Relation.insert fresh tuple'))
+      relation;
+    (fresh, true)
+  end
+
+let repair_relation ?(max_rounds = 10) cfds relation =
+  let relevant =
+    List.filter
+      (fun (c : Cfd.t) -> String.equal c.Cfd.relation (Relation.name relation))
+      cfds
+  in
+  let rec rounds n rel =
+    if n >= max_rounds then begin
+      Log.warn (fun m ->
+          m "minimal repair of %s did not converge within %d rounds"
+            (Relation.name rel) max_rounds);
+      rel
+    end
+    else begin
+      let rel', changed =
+        List.fold_left
+          (fun (r, ch) cfd ->
+            let r', ch' = repair_pass cfd r in
+            (r', ch || ch'))
+          (rel, false) relevant
+      in
+      if changed then rounds (n + 1) rel' else rel'
+    end
+  in
+  if relevant = [] then Relation.copy relation else rounds 0 relation
+
+let repair ?max_rounds cfds db =
+  let db' = Database.create () in
+  List.iter
+    (fun r -> Database.add_relation db' (repair_relation ?max_rounds cfds r))
+    (Database.relations db);
+  db'
+
+let modifications before after =
+  if Relation.cardinality before <> Relation.cardinality after then
+    invalid_arg "Minimal_repair.modifications: cardinality mismatch";
+  Relation.fold
+    (fun id t acc ->
+      let t' = Relation.get after id in
+      let diff = ref 0 in
+      for pos = 0 to Tuple.arity t - 1 do
+        if not (Value.equal (Tuple.get t pos) (Tuple.get t' pos)) then incr diff
+      done;
+      acc + !diff)
+    before 0

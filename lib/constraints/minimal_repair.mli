@@ -1,0 +1,28 @@
+(** Minimal repair of CFD violations by value modification (§2.3, §6.1.3).
+
+    This is the cleaning step used by the paper's [DLearn-Repaired]
+    baseline: every violating group is repaired by updating the
+    right-hand-side values — to the pattern constant when the CFD fixes
+    one, otherwise to the group's most frequent value (fewest
+    modifications, the popular minimal-repair heuristic [23]). Repairing
+    one CFD can surface violations of another, so the pass iterates to a
+    fixpoint with a round bound; an inconsistent CFD set can cycle, which
+    is reported via [Logs] and cut off. *)
+
+(** [repair_relation ?max_rounds cfds relation] returns a repaired copy.
+    All [cfds] must be over [relation]'s name; others are ignored. *)
+val repair_relation :
+  ?max_rounds:int -> Cfd.t list -> Dlearn_relation.Relation.t -> Dlearn_relation.Relation.t
+
+(** [repair ?max_rounds cfds db] repairs every relation of [db] against
+    the CFDs that mention it, returning a fresh database. *)
+val repair :
+  ?max_rounds:int ->
+  Cfd.t list ->
+  Dlearn_relation.Database.t ->
+  Dlearn_relation.Database.t
+
+(** [modifications before after] counts differing attribute values between
+    two same-schema, same-cardinality relations — the repair cost. *)
+val modifications :
+  Dlearn_relation.Relation.t -> Dlearn_relation.Relation.t -> int

@@ -1,0 +1,107 @@
+open Dlearn_relation
+
+type match_site = {
+  md : Md.t;
+  left_id : int;
+  right_id : int;
+}
+
+let compared_positions (md : Md.t) left_schema right_schema =
+  List.map
+    (fun (a, b) -> (Schema.position left_schema a, Schema.position right_schema b))
+    md.Md.compared
+
+let unified_positions (md : Md.t) left_schema right_schema =
+  let c, d = md.Md.unified in
+  (Schema.position left_schema c, Schema.position right_schema d)
+
+let unresolved_matches ~sim db (mds : Md.t list) =
+  List.concat_map
+    (fun (md : Md.t) ->
+      match
+        (Database.find_opt db md.Md.left_rel, Database.find_opt db md.Md.right_rel)
+      with
+      | Some left, Some right ->
+          let ls = Relation.schema left and rs = Relation.schema right in
+          let spec = Md.effective_spec md sim in
+          let compared = compared_positions md ls rs in
+          let uc, ud = unified_positions md ls rs in
+          Relation.fold
+            (fun left_id lt acc ->
+              Relation.fold
+                (fun right_id rt acc ->
+                  let similar_everywhere =
+                    List.for_all
+                      (fun (pa, pb) ->
+                        Md.similar spec (Tuple.get lt pa) (Tuple.get rt pb))
+                      compared
+                  in
+                  if
+                    similar_everywhere
+                    && not (Value.equal (Tuple.get lt uc) (Tuple.get rt ud))
+                  then { md; left_id; right_id } :: acc
+                  else acc)
+                right acc)
+            left []
+      | _ -> [])
+    mds
+
+let replace_value db rel_name id pos value =
+  let old_rel = Database.find db rel_name in
+  let fresh = Relation.create (Relation.schema old_rel) in
+  Relation.iter
+    (fun i t ->
+      let t' = if i = id then Tuple.set t pos value else t in
+      ignore (Relation.insert fresh t'))
+    old_rel;
+  let db' = Database.create () in
+  List.iter
+    (fun r ->
+      if String.equal (Relation.name r) rel_name then
+        Database.add_relation db' fresh
+      else Database.add_relation db' (Relation.copy r))
+    (Database.relations db);
+  db'
+
+let enforce db site =
+  let md = site.md in
+  let left = Database.find db md.Md.left_rel
+  and right = Database.find db md.Md.right_rel in
+  let uc, ud =
+    unified_positions md (Relation.schema left) (Relation.schema right)
+  in
+  let v1 = Tuple.get (Relation.get left site.left_id) uc in
+  let v2 = Tuple.get (Relation.get right site.right_id) ud in
+  let merged = Md.Merge.merge v1 v2 in
+  let db' = replace_value db md.Md.left_rel site.left_id uc merged in
+  replace_value db' md.Md.right_rel site.right_id ud merged
+
+let is_stable ~sim db mds = unresolved_matches ~sim db mds = []
+
+let db_key db =
+  (* Content fingerprint: relation name plus sorted tuple renderings. *)
+  Database.relations db
+  |> List.map (fun r ->
+         let tuples =
+           Relation.fold (fun _ t acc -> Tuple.to_string t :: acc) r []
+           |> List.sort String.compare
+         in
+         Relation.name r ^ ":" ^ String.concat ";" tuples)
+  |> String.concat "\n"
+
+let stable_instances ?(cap = 64) ~sim db mds =
+  let results : (string, Database.t) Hashtbl.t = Hashtbl.create 8 in
+  let visited : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let rec go db =
+    if Hashtbl.length results < cap then begin
+      let key = db_key db in
+      if not (Hashtbl.mem visited key) then begin
+        Hashtbl.add visited key ();
+        match unresolved_matches ~sim db mds with
+        | [] -> Hashtbl.replace results key db
+        | sites -> List.iter (fun site -> go (enforce db site)) sites
+      end
+    end
+  in
+  go db;
+  Hashtbl.fold (fun _ d acc -> d :: acc) results []

@@ -1,0 +1,44 @@
+(** MD enforcement and stable instances (§2.2, Definition 2.2).
+
+    Enforcing an MD on a pair of tuples whose compared attributes are
+    similar but whose unified attributes differ replaces both unified
+    values with the canonical fresh merged value [v_{a,b}] ({!Md.Merge}).
+    A database is {e stable} when no such pair remains. Iterating
+    enforcement from a database in every possible order yields its stable
+    instances; there can be several when one value matches two distinct
+    values (Example 2.3). This module enumerates them for small databases
+    — it exists to test the commutativity theorems (4.11, 4.12) and to
+    ground the semantics; DLearn itself never materialises instances. *)
+
+type match_site = {
+  md : Md.t;
+  left_id : int;  (** tuple id within the MD's left relation *)
+  right_id : int;
+}
+
+(** [unresolved_matches ~sim db mds] lists the enforceable sites: pairs
+    similar on every compared attribute and differing on the unified one.
+    Relations absent from [db] are skipped. *)
+val unresolved_matches :
+  sim:Md.sim_spec ->
+  Dlearn_relation.Database.t ->
+  Md.t list ->
+  match_site list
+
+(** [enforce db site] is the immediate result of enforcing the site's MD
+    (Definition 2.2): a fresh database differing only in the two unified
+    values, both set to their merge. *)
+val enforce : Dlearn_relation.Database.t -> match_site -> Dlearn_relation.Database.t
+
+val is_stable :
+  sim:Md.sim_spec -> Dlearn_relation.Database.t -> Md.t list -> bool
+
+(** [stable_instances ?cap ~sim db mds] enumerates the distinct stable
+    instances reachable from [db], deduplicated on content, at most [cap]
+    (default 64) of them. Intended for test-sized databases. *)
+val stable_instances :
+  ?cap:int ->
+  sim:Md.sim_spec ->
+  Dlearn_relation.Database.t ->
+  Md.t list ->
+  Dlearn_relation.Database.t list

@@ -1,0 +1,71 @@
+open Dlearn_relation
+
+let find (cfd : Cfd.t) relation =
+  if not (String.equal (Relation.name relation) cfd.Cfd.relation) then
+    invalid_arg
+      (Printf.sprintf "Violation.find: CFD %s is over %s, not %s" cfd.Cfd.id
+         cfd.Cfd.relation (Relation.name relation));
+  let schema = Relation.schema relation in
+  let lhs = Cfd.lhs_positions cfd schema in
+  let rhs_pos, rhs_pat = Cfd.rhs_position cfd schema in
+  (* Group ids by their left-hand-side value vector (only tuples matching
+     the lhs pattern can participate in a violation). *)
+  let groups : (string, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  Relation.iter
+    (fun id tuple ->
+      let lhs_matches =
+        List.for_all (fun (pos, pat) -> Cfd.matches pat (Tuple.get tuple pos)) lhs
+      in
+      if lhs_matches then begin
+        let key =
+          String.concat "\x00"
+            (List.map (fun (pos, _) -> Value.to_string (Tuple.get tuple pos)) lhs)
+        in
+        match Hashtbl.find_opt groups key with
+        | Some ids -> ids := id :: !ids
+        | None -> Hashtbl.add groups key (ref [ id ])
+      end)
+    relation;
+  let violations = ref [] in
+  Hashtbl.iter
+    (fun _ ids ->
+      let ids = List.rev !ids in
+      (* Single-tuple violations of a constant rhs pattern. *)
+      (match rhs_pat with
+      | Cfd.Const _ ->
+          List.iter
+            (fun id ->
+              let v = Tuple.get (Relation.get relation id) rhs_pos in
+              if not (Cfd.matches rhs_pat v) then
+                violations := (id, id) :: !violations)
+            ids
+      | Cfd.Wildcard -> ());
+      (* Pairwise violations within the group. *)
+      let arr = Array.of_list ids in
+      for i = 0 to Array.length arr - 1 do
+        for j = i + 1 to Array.length arr - 1 do
+          let t1 = Relation.get relation arr.(i)
+          and t2 = Relation.get relation arr.(j) in
+          let v1 = Tuple.get t1 rhs_pos and v2 = Tuple.get t2 rhs_pos in
+          if
+            not
+              (Value.equal v1 v2 && Cfd.matches rhs_pat v1
+              && Cfd.matches rhs_pat v2)
+          then violations := (arr.(i), arr.(j)) :: !violations
+        done
+      done)
+    groups;
+  List.sort compare !violations
+
+let find_all cfds db =
+  List.filter_map
+    (fun cfd ->
+      match Database.find_opt db cfd.Cfd.relation with
+      | Some rel -> Some (cfd, find cfd rel)
+      | None -> None)
+    cfds
+
+let count cfds db =
+  List.fold_left (fun acc (_, vs) -> acc + List.length vs) 0 (find_all cfds db)
+
+let satisfies cfds db = count cfds db = 0

@@ -1,0 +1,25 @@
+(** Detection of CFD violations in stored relations.
+
+    Violations are reported as pairs of tuple ids [(id1, id2)] with
+    [id1 <= id2]; a single-tuple violation of a constant right-hand-side
+    pattern is the pair [(id, id)]. Detection groups tuples by their
+    left-hand-side values through the relation's indexes, so the scan is
+    linear in the relation plus the size of the violating groups. *)
+
+(** [find t relation] lists the violating pairs of [t] in [relation].
+    @raise Invalid_argument when [relation]'s name differs from the CFD's
+    relation. *)
+val find : Cfd.t -> Dlearn_relation.Relation.t -> (int * int) list
+
+(** [find_all cfds db] lists violations of every CFD whose relation exists
+    in [db], tagged by CFD. *)
+val find_all :
+  Cfd.t list ->
+  Dlearn_relation.Database.t ->
+  (Cfd.t * (int * int) list) list
+
+(** [count cfds db] is the total number of violating pairs. *)
+val count : Cfd.t list -> Dlearn_relation.Database.t -> int
+
+(** [satisfies cfds db] holds when no CFD is violated. *)
+val satisfies : Cfd.t list -> Dlearn_relation.Database.t -> bool

@@ -1,0 +1,79 @@
+open Dlearn_relation
+open Dlearn_constraints
+
+type system =
+  | Castor_nomd
+  | Castor_exact
+  | Castor_clean
+  | Dlearn
+  | Dlearn_repaired
+  | Dlearn_cfd
+
+let name = function
+  | Castor_nomd -> "Castor-NoMD"
+  | Castor_exact -> "Castor-Exact"
+  | Castor_clean -> "Castor-Clean"
+  | Dlearn -> "DLearn"
+  | Dlearn_repaired -> "DLearn-Repaired"
+  | Dlearn_cfd -> "DLearn-CFD"
+
+let all =
+  [ Castor_nomd; Castor_exact; Castor_clean; Dlearn; Dlearn_repaired; Dlearn_cfd ]
+
+let replace_relation db name fresh =
+  let db' = Database.create () in
+  List.iter
+    (fun r ->
+      if String.equal (Relation.name r) name then Database.add_relation db' fresh
+      else Database.add_relation db' r)
+    (Database.relations db);
+  db'
+
+let resolve_entities ~sim db (mds : Md.t list) =
+  List.fold_left
+    (fun db (md : Md.t) ->
+      let sim = Md.effective_spec md sim in
+      let left = Database.find db md.Md.left_rel in
+      let right = Database.find db md.Md.right_rel in
+      let ls = Relation.schema left and rs = Relation.schema right in
+      let c, d = md.Md.unified in
+      let pc = Schema.position ls c and pd = Schema.position rs d in
+      let index =
+        Dlearn_similarity.Sim_index.of_values ~measure:sim.Md.measure
+          (Relation.distinct_values right pd)
+      in
+      let mapping : (Value.t, Value.t) Hashtbl.t = Hashtbl.create 64 in
+      List.iter
+        (fun v ->
+          if not (Value.is_null v) then
+            match
+              Dlearn_similarity.Sim_index.query index ~km:1
+                ~threshold:sim.Md.threshold (Value.as_string v)
+            with
+            | (best, _) :: _ -> Hashtbl.replace mapping v (Value.String best)
+            | [] -> ())
+        (Relation.distinct_values left pc);
+      let resolved =
+        Relation.map_tuples
+          (fun t ->
+            match Hashtbl.find_opt mapping (Tuple.get t pc) with
+            | Some v -> Tuple.set t pc v
+            | None -> t)
+          left
+      in
+      replace_relation db md.Md.left_rel resolved)
+    (Database.copy db) mds
+
+let make_context system (config : Config.t) db mds cfds =
+  match system with
+  | Castor_nomd -> Context.create config db [] []
+  | Castor_exact ->
+      Context.create { config with Config.exact_matching = true } db mds []
+  | Castor_clean ->
+      let db' = resolve_entities ~sim:config.Config.sim db mds in
+      Context.create { config with Config.exact_matching = true } db' mds []
+  | Dlearn -> Context.create config db mds []
+  | Dlearn_repaired ->
+      let db' = Minimal_repair.repair cfds db in
+      Context.create config db' mds []
+  | Dlearn_cfd -> Context.create config db mds cfds

@@ -1,0 +1,50 @@
+(** The systems compared in the paper's evaluation (§6.1.3).
+
+    Each system is a preprocessing recipe plus a learner configuration:
+
+    - [Castor_nomd]: learn over the original database ignoring MDs and
+      CFDs entirely;
+    - [Castor_exact]: MD attributes may join, but only through exact
+      matches — similarity search is replaced by index lookup and no
+      repair literals are produced;
+    - [Castor_clean]: resolve heterogeneity up front by rewriting each
+      value of an MD's left attribute to its single most similar value on
+      the right (the paper's same similarity operator), then learn over
+      the unified database with exact matching;
+    - [Dlearn]: the full system over MDs (CFDs ignored — the paper's
+      Table 4 setting);
+    - [Dlearn_repaired]: minimal-repair the CFD violations first, then
+      run DLearn with MDs only (Table 5's baseline);
+    - [Dlearn_cfd]: the full system over MDs and CFDs (Table 5). *)
+
+type system =
+  | Castor_nomd
+  | Castor_exact
+  | Castor_clean
+  | Dlearn
+  | Dlearn_repaired
+  | Dlearn_cfd
+
+val name : system -> string
+
+val all : system list
+
+(** [resolve_entities ~sim db mds] is Castor-Clean's preprocessing: a copy
+    of [db] where every value of each MD's left unified attribute is
+    replaced by its best match (similarity ≥ threshold) among the right
+    attribute's values. *)
+val resolve_entities :
+  sim:Dlearn_constraints.Md.sim_spec ->
+  Dlearn_relation.Database.t ->
+  Dlearn_constraints.Md.t list ->
+  Dlearn_relation.Database.t
+
+(** [make_context system config db mds cfds] prepares the context for a
+    system: database preprocessing and configuration adjustments applied. *)
+val make_context :
+  system ->
+  Config.t ->
+  Dlearn_relation.Database.t ->
+  Dlearn_constraints.Md.t list ->
+  Dlearn_constraints.Cfd.t list ->
+  Context.t

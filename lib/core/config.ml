@@ -1,0 +1,51 @@
+type t = {
+  target : Dlearn_relation.Schema.t;
+  depth : int;
+  km : int;
+  sample_size : int;
+  sim : Dlearn_constraints.Md.sim_spec;
+  exact_matching : bool;
+  constant_attrs : (string * string) list;
+  searchable_attrs : (string * string) list;
+  sample_positives : int;
+  min_pos : int;
+  min_precision : float;
+  max_clauses : int;
+  armg_beam : int;
+  climb_neg_cap : int;
+  subsumption_budget : int;
+  repair_state_cap : int;
+  repair_result_cap : int;
+  cfd_rounds : int;
+  seed : int;
+}
+
+let default ~target =
+  {
+    target;
+    depth = 3;
+    km = 5;
+    sample_size = 10;
+    sim = Dlearn_constraints.Md.default_sim;
+    exact_matching = false;
+    constant_attrs = [];
+    searchable_attrs = [];
+    sample_positives = 10;
+    min_pos = 2;
+    min_precision = 0.7;
+    max_clauses = 8;
+    armg_beam = 32;
+    climb_neg_cap = 40;
+    subsumption_budget = 200_000;
+    repair_state_cap = 512;
+    repair_result_cap = 16;
+    cfd_rounds = 2;
+    seed = 42;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "{target=%s; d=%d; km=%d; sample_size=%d; threshold=%.2f; exact=%b; seed=%d}"
+    (Dlearn_relation.Schema.name t.target)
+    t.depth t.km t.sample_size t.sim.Dlearn_constraints.Md.threshold
+    t.exact_matching t.seed

@@ -1,0 +1,89 @@
+open Dlearn_relation
+open Dlearn_constraints
+
+type ground_entry = {
+  ground : Dlearn_logic.Clause.t;
+  mutable cfd_apps : Dlearn_logic.Clause.t list option;
+  mutable repairs : Dlearn_logic.Clause.t list option;
+  mutable target : Dlearn_logic.Subsumption.target option;
+  mutable repair_targets : Dlearn_logic.Subsumption.target list option;
+  mutable prefilter_target : Dlearn_logic.Subsumption.target option;
+}
+
+type t = {
+  config : Config.t;
+  db : Database.t;
+  mds : Md.t list;
+  cfds : Cfd.t list;
+  rng : Random.State.t;
+  sim_indexes : (string * int, Dlearn_similarity.Sim_index.t) Hashtbl.t;
+  ground_cache : (string, ground_entry) Hashtbl.t;
+}
+
+let create config db mds cfds =
+  let target_name = Schema.name config.Config.target in
+  List.iter
+    (fun (md : Md.t) ->
+      if Md.mentions md target_name then
+        invalid_arg
+          (Printf.sprintf
+             "Context.create: MD %s mentions the target relation %s"
+             md.Md.id target_name);
+      List.iter
+        (fun rel ->
+          if not (Database.mem db rel) then
+            invalid_arg
+              (Printf.sprintf "Context.create: MD %s mentions unknown relation %s"
+                 md.Md.id rel))
+        [ md.Md.left_rel; md.Md.right_rel ])
+    mds;
+  {
+    config;
+    db;
+    mds;
+    cfds;
+    rng = Random.State.make [| config.Config.seed |];
+    sim_indexes = Hashtbl.create 8;
+    ground_cache = Hashtbl.create 256;
+  }
+
+let sim_index t rel pos =
+  match Hashtbl.find_opt t.sim_indexes (rel, pos) with
+  | Some idx -> idx
+  | None ->
+      let relation = Database.find t.db rel in
+      let values = Relation.distinct_values relation pos in
+      let idx =
+        Dlearn_similarity.Sim_index.of_values
+          ~measure:t.config.Config.sim.Md.measure values
+      in
+      Hashtbl.add t.sim_indexes (rel, pos) idx;
+      idx
+
+let example_key e = Tuple.to_string e
+
+let is_searchable_attr t rel pos =
+  match t.config.Config.searchable_attrs with
+  | [] -> true
+  | declared -> (
+      match Database.find_opt t.db rel with
+      | None -> false
+      | Some relation ->
+          let schema = Relation.schema relation in
+          pos < Schema.arity schema
+          && List.exists
+               (fun (r, a) ->
+                 String.equal r rel
+                 && String.equal a (Schema.attr_name schema pos))
+               declared)
+
+let is_constant_attr t rel pos =
+  match Database.find_opt t.db rel with
+  | None -> false
+  | Some relation ->
+      let schema = Relation.schema relation in
+      pos < Schema.arity schema
+      && List.exists
+           (fun (r, a) ->
+             String.equal r rel && String.equal a (Schema.attr_name schema pos))
+           t.config.Config.constant_attrs

@@ -1,0 +1,55 @@
+(** Shared learning context: the database, its constraints, the
+    precomputed per-attribute similarity indexes (§5 precomputes similar
+    value pairs), and the cache of ground bottom clauses with their repair
+    enumerations — the most expensive objects of a learning run. *)
+
+type ground_entry = {
+  ground : Dlearn_logic.Clause.t;
+  mutable cfd_apps : Dlearn_logic.Clause.t list option;
+  mutable repairs : Dlearn_logic.Clause.t list option;
+  mutable target : Dlearn_logic.Subsumption.target option;
+      (** the ground clause prepared for matching, built on first use *)
+  mutable repair_targets : Dlearn_logic.Subsumption.target list option;
+  mutable prefilter_target : Dlearn_logic.Subsumption.target option;
+      (** the ground clause's relational part with equality literals
+          linking every potentially-merged term pair — the target of the
+          necessary-condition check that gates repair enumeration *)
+}
+
+type t = {
+  config : Config.t;
+  db : Dlearn_relation.Database.t;
+  mds : Dlearn_constraints.Md.t list;
+  cfds : Dlearn_constraints.Cfd.t list;
+  rng : Random.State.t;
+  sim_indexes : (string * int, Dlearn_similarity.Sim_index.t) Hashtbl.t;
+  ground_cache : (string, ground_entry) Hashtbl.t;
+}
+
+(** [create config db mds cfds] prepares the context: one similarity index
+    per (relation, attribute) compared by some MD (skipped in
+    exact-matching mode). MDs mentioning the target relation or relations
+    absent from [db] are rejected with [Invalid_argument] — the paper's
+    workloads key every target on an identifier that appears exactly. *)
+val create :
+  Config.t ->
+  Dlearn_relation.Database.t ->
+  Dlearn_constraints.Md.t list ->
+  Dlearn_constraints.Cfd.t list ->
+  t
+
+(** [sim_index t rel pos] is the index over the distinct values of the
+    attribute (built lazily on first use). *)
+val sim_index : t -> string -> int -> Dlearn_similarity.Sim_index.t
+
+(** [example_key e] is the cache key of a training example. *)
+val example_key : Dlearn_relation.Tuple.t -> string
+
+(** [is_constant_attr t rel pos] holds when clauses represent that
+    attribute's values as constants. *)
+val is_constant_attr : t -> string -> int -> bool
+
+(** [is_searchable_attr t rel pos] holds when the exact relevant-tuple
+    search may look values up in that attribute (always true when no
+    searchable attributes are declared). *)
+val is_searchable_attr : t -> string -> int -> bool

@@ -1,0 +1,57 @@
+(** Coverage testing over heterogeneous data (§3.3, §4.3).
+
+    Positive coverage follows Definition 3.4 through the efficient
+    procedure of §4.3: first try θ-subsumption of the clause against the
+    example's ground bottom clause directly (repair literals treated as
+    atoms — sound by Theorem 4.6 and complete for MD-only clauses by
+    Theorem 4.9); when CFD repair literals are present, apply the CFD
+    groups on both sides and require every application of the clause to
+    subsume some application of the ground clause.
+
+    Negative coverage follows Definition 3.6: the clause covers the
+    negative example when {e some} fully repaired clause of it subsumes
+    {e some} fully repaired clause of the example's ground bottom clause
+    (both sides repair-free, so Definition 4.4's connectivity condition is
+    vacuous). Enumerations are capped by the configuration; the caps only
+    ever under-approximate negative coverage. *)
+
+type prepared = {
+  clause : Dlearn_logic.Clause.t;
+  cfd_apps : Dlearn_logic.Clause.t list Lazy.t;
+  repairs : Dlearn_logic.Clause.t list Lazy.t;
+  skeleton : Dlearn_logic.Clause.t Lazy.t;
+      (** the clause's relational skeleton with repairable term occurrences
+          wildcarded — matched against the example's relational part modulo
+          its potential merges as a necessary condition before any repair
+          enumeration runs *)
+}
+
+(** [prepare ctx c] wraps [c] with lazily computed repair enumerations so
+    that scoring over many examples shares them. *)
+val prepare : Context.t -> Dlearn_logic.Clause.t -> prepared
+
+val covers_positive : Context.t -> prepared -> Dlearn_relation.Tuple.t -> bool
+
+(** [ground_target ctx entry] is the example's ground bottom clause
+    prepared for subsumption, cached in the entry. *)
+val ground_target :
+  Context.t -> Context.ground_entry -> Dlearn_logic.Subsumption.target
+
+val covers_negative : Context.t -> prepared -> Dlearn_relation.Tuple.t -> bool
+
+(** [covers_positive_cfd_split ctx p e] is the paper's §4.3 intermediate
+    procedure: apply only the CFD repair groups on both sides, keep the MD
+    repair literals as atoms (Theorem 4.9), and require every application
+    of the clause to subsume some application of the ground clause. Kept
+    for the ablation benchmark; [covers_positive] decides Definition 3.4
+    over full repairs when the fast path fails. *)
+val covers_positive_cfd_split :
+  Context.t -> prepared -> Dlearn_relation.Tuple.t -> bool
+
+(** [coverage ctx p ~pos ~neg] counts covered positives and negatives. *)
+val coverage :
+  Context.t ->
+  prepared ->
+  pos:Dlearn_relation.Tuple.t list ->
+  neg:Dlearn_relation.Tuple.t list ->
+  int * int

@@ -1,0 +1,13 @@
+(** Human-readable explanations of coverage verdicts.
+
+    Given a clause and an example, reports {e why} the clause covers it:
+    the substitution found by θ-subsumption and the image of each body
+    literal in the example's ground bottom clause — i.e. the concrete
+    tuples and matches supporting the inference. When coverage holds only
+    through the repair semantics, the explanation names the repaired
+    clause and the repair of the example that support it. *)
+
+(** [positive ctx clause e] explains why [clause] covers [e], or returns
+    [None] when it does not. *)
+val positive :
+  Context.t -> Dlearn_logic.Clause.t -> Dlearn_relation.Tuple.t -> string option

@@ -1,0 +1,167 @@
+open Dlearn_relation
+open Dlearn_logic
+
+let src = Logs.Src.create "dlearn.learner"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type clause_stats = {
+  clause : Clause.t;
+  pos_covered : int;
+  neg_covered : int;
+}
+
+type result = {
+  definition : Definition.t;
+  stats : clause_stats list;
+  seconds : float;
+  seeds_skipped : int;
+}
+
+let sample rng n l =
+  if List.length l <= n then l
+  else begin
+    let arr = Array.of_list l in
+    for i = Array.length arr - 1 downto 1 do
+      let j = Random.State.int rng (i + 1) in
+      let tmp = arr.(i) in
+      arr.(i) <- arr.(j);
+      arr.(j) <- tmp
+    done;
+    Array.to_list (Array.sub arr 0 n)
+  end
+
+(* Hill-climb: repeatedly generalise against sampled positives, keeping the
+   best-scoring candidate, until the score stops improving (§4.2). *)
+let refine ctx ~uncovered ~neg clause =
+  let config = ctx.Context.config in
+  (* Candidates are scored against a bounded sample of the negatives; the
+     acceptance decision below re-scores the winner on the full set. *)
+  let neg = sample ctx.Context.rng config.Config.climb_neg_cap neg in
+  let rec climb clause prepared (p, n) =
+    let score = p - n in
+    let sample_pos =
+      sample ctx.Context.rng config.Config.sample_positives uncovered
+    in
+    let candidates =
+      List.filter_map (fun e' -> Generalization.armg ctx clause e') sample_pos
+      |> List.filter (fun c -> not (Clause.equal c clause))
+      (* Distinct sampled positives often yield the same generalisation;
+         score each candidate once. *)
+      |> List.fold_left
+           (fun acc c ->
+             if List.exists (fun c' -> Clause.equal (Clause.canonical c) (Clause.canonical c')) acc
+             then acc
+             else c :: acc)
+           []
+      |> List.rev
+    in
+    let scored =
+      List.map
+        (fun c ->
+          let prep = Coverage.prepare ctx c in
+          let cov = Coverage.coverage ctx prep ~pos:uncovered ~neg in
+          (c, prep, cov))
+        candidates
+    in
+    (* Higher score first; on ties the smaller clause — the more general
+       one — so the climb keeps shedding redundant literals even when the
+       training score has saturated. *)
+    match
+      List.stable_sort
+        (fun (c1, _, (p1, n1)) (c2, _, (p2, n2)) ->
+          match Int.compare (p2 - n2) (p1 - n1) with
+          | 0 -> Int.compare (Clause.body_size c1) (Clause.body_size c2)
+          | c -> c)
+        scored
+    with
+    | (best, best_prep, (bp, bn)) :: _
+      when bp - bn > score
+           || (bp - bn = score && Clause.body_size best < Clause.body_size clause)
+      ->
+        Log.debug (fun m ->
+            m "refined clause: score %d -> %d (%d literals)" score (bp - bn)
+              (Clause.body_size best));
+        climb best best_prep (bp, bn)
+    | _ -> (clause, prepared, (p, n))
+  in
+  let prepared = Coverage.prepare ctx clause in
+  (* The bottom clause covers its seed and (being maximally specific)
+     essentially nothing else (Prop. 4.3); starting the climb from score
+     (1, 0) avoids an expensive full sweep with the raw clause. *)
+  climb clause prepared (1, 0)
+
+let learn ctx ~pos ~neg =
+  let config = ctx.Context.config in
+  let target = Schema.name config.Config.target in
+  let started = Unix.gettimeofday () in
+  let rec cover uncovered acc skipped =
+    match uncovered with
+    | [] -> (List.rev acc, skipped)
+    | seed :: rest ->
+        if List.length acc >= config.Config.max_clauses then
+          (List.rev acc, skipped + List.length uncovered)
+        else begin
+          let bottom = Bottom_clause.build ctx Bottom_clause.Variable seed in
+          Log.info (fun m ->
+              m "seed %s: bottom clause with %d literals"
+                (Tuple.to_string seed) (Clause.body_size bottom));
+          let clause, prepared, (p, _) =
+            refine ctx ~uncovered ~neg bottom
+          in
+          (* Re-score on the full negative set for the acceptance test. *)
+          let n =
+            List.length (List.filter (Coverage.covers_negative ctx prepared) neg)
+          in
+          let precision =
+            if p + n = 0 then 0.0 else float_of_int p /. float_of_int (p + n)
+          in
+          if p >= config.Config.min_pos && precision >= config.Config.min_precision
+          then begin
+            let still_uncovered =
+              List.filter
+                (fun e -> not (Coverage.covers_positive ctx prepared e))
+                rest
+            in
+            Log.info (fun m ->
+                m "accepted clause covering %d+/%d- (%d uncovered left)" p n
+                  (List.length still_uncovered));
+            cover still_uncovered ((clause, p, n) :: acc) skipped
+          end
+          else begin
+            Log.info (fun m ->
+                m "skipping seed %s (best clause %d+/%d-)" (Tuple.to_string seed)
+                  p n);
+            cover rest acc (skipped + 1)
+          end
+        end
+  in
+  let accepted, skipped = cover pos [] 0 in
+  let definition =
+    List.fold_left
+      (fun d (c, _, _) -> Definition.add d c)
+      (Definition.empty target) accepted
+  in
+  (* Report per-clause coverage over the full training set. *)
+  let stats =
+    List.map
+      (fun (c, _, _) ->
+        let prep = Coverage.prepare ctx c in
+        let p, n = Coverage.coverage ctx prep ~pos ~neg in
+        { clause = c; pos_covered = p; neg_covered = n })
+      accepted
+  in
+  {
+    definition;
+    stats;
+    seconds = Unix.gettimeofday () -. started;
+    seeds_skipped = skipped;
+  }
+
+let predictor ctx definition =
+  let prepared =
+    List.map (Coverage.prepare ctx) definition.Definition.clauses
+  in
+  fun e -> List.exists (fun p -> Coverage.covers_positive ctx p e) prepared
+
+let predict ctx definition e = predictor ctx definition e

@@ -1,0 +1,44 @@
+(** The DLearn covering-loop learner (Algorithm 1, §4).
+
+    One clause at a time: build the bottom clause of an uncovered positive
+    seed, hill-climb by generalising it against sampled positives (ARMG),
+    score candidates by covered positives minus covered negatives, accept
+    the clause when it covers enough positives with enough precision, and
+    repeat on the still-uncovered positives. Seeds whose best clause fails
+    the acceptance criterion are skipped, which guarantees termination. *)
+
+type clause_stats = {
+  clause : Dlearn_logic.Clause.t;
+  pos_covered : int;  (** over the full positive training set *)
+  neg_covered : int;
+}
+
+type result = {
+  definition : Dlearn_logic.Definition.t;
+  stats : clause_stats list;
+  seconds : float;  (** wall-clock learning time *)
+  seeds_skipped : int;
+}
+
+(** [learn ctx ~pos ~neg] learns a definition of the context's target. *)
+val learn :
+  Context.t ->
+  pos:Dlearn_relation.Tuple.t list ->
+  neg:Dlearn_relation.Tuple.t list ->
+  result
+
+(** [predictor ctx definition] prepares the definition's clauses once and
+    returns the prediction function: does some clause cover the example
+    under the positive-coverage semantics? *)
+val predictor :
+  Context.t ->
+  Dlearn_logic.Definition.t ->
+  Dlearn_relation.Tuple.t ->
+  bool
+
+(** [predict ctx definition e] is a one-shot [predictor] application. *)
+val predict :
+  Context.t ->
+  Dlearn_logic.Definition.t ->
+  Dlearn_relation.Tuple.t ->
+  bool

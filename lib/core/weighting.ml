@@ -1,0 +1,36 @@
+open Dlearn_logic
+
+type t = {
+  definition : Definition.t;
+  weights : float list;
+  prepared : Coverage.prepared list;
+}
+
+let weigh ctx definition ~pos ~neg =
+  let prepared =
+    List.map (Coverage.prepare ctx) definition.Definition.clauses
+  in
+  let weights =
+    List.map
+      (fun prep ->
+        let tp, fp = Coverage.coverage ctx prep ~pos ~neg in
+        (* Laplace / m-estimate with m = 2, prior 1/2. *)
+        float_of_int (tp + 1) /. float_of_int (tp + fp + 2))
+      prepared
+  in
+  { definition; weights; prepared }
+
+let score ctx t e =
+  List.fold_left2
+    (fun best prep weight ->
+      if weight > best && Coverage.covers_positive ctx prep e then weight
+      else best)
+    0.0 t.prepared t.weights
+
+let predict ctx t ~threshold e = score ctx t e >= threshold
+
+let pp fmt t =
+  List.iter2
+    (fun clause weight ->
+      Format.fprintf fmt "[w=%.3f] %s@." weight (Clause.to_string clause))
+    t.definition.Definition.clauses t.weights

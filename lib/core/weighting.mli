@@ -1,0 +1,34 @@
+(** Clause weights (§1: "one may assign weights to these definitions to
+    describe their prevalence in the data according to their training
+    accuracy").
+
+    Each clause is weighted by its Laplace-corrected training precision
+    (m-estimate with m = 2 and prior 1/2): weight = (tp + 1) / (tp + fp + 2).
+    Prediction scores an example by the best weight among the clauses
+    covering it, giving a ranking / thresholding layer on top of the
+    boolean semantics. *)
+
+type t = {
+  definition : Dlearn_logic.Definition.t;
+  weights : float list;  (** one weight per clause, same order *)
+  prepared : Coverage.prepared list;  (** cached per-clause repair data *)
+}
+
+(** [weigh ctx definition ~pos ~neg] computes the weights from training
+    coverage. *)
+val weigh :
+  Context.t ->
+  Dlearn_logic.Definition.t ->
+  pos:Dlearn_relation.Tuple.t list ->
+  neg:Dlearn_relation.Tuple.t list ->
+  t
+
+(** [score ctx t e] is the best weight among covering clauses, 0.0 when
+    none covers [e]. *)
+val score : Context.t -> t -> Dlearn_relation.Tuple.t -> float
+
+(** [predict ctx t ~threshold e] is [score ctx t e >= threshold]. *)
+val predict :
+  Context.t -> t -> threshold:float -> Dlearn_relation.Tuple.t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,25 @@
+let width = 40
+
+let series ~title ~unit_label points =
+  let max_value =
+    List.fold_left (fun acc (_, v) -> Float.max acc v) 0.0 points
+  in
+  let label_width =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 points
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "%s (%s)\n" title unit_label);
+  List.iter
+    (fun (label, v) ->
+      let bar_len =
+        if max_value <= 0.0 then 0
+        else int_of_float (Float.round (v /. max_value *. float_of_int width))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %-*s | %-*s %.2f\n" label_width label width
+           (String.make bar_len '#') v))
+    points;
+  Buffer.contents buf
+
+let print_series ~title ~unit_label points =
+  print_string (series ~title ~unit_label points)

@@ -1,0 +1,12 @@
+(** Small ASCII plots for the figure-shaped experiment results: a labelled
+    horizontal bar per data point, so the shape of a series is visible in
+    the benchmark log without external tooling. *)
+
+(** [series ~title ~unit points] renders one bar per (label, value); bars
+    are scaled to the maximum value (40 columns). Values must be finite
+    and non-negative. *)
+val series : title:string -> unit_label:string -> (string * float) list -> string
+
+(** [print_series ~title ~unit points] prints {!series}. *)
+val print_series :
+  title:string -> unit_label:string -> (string * float) list -> unit

@@ -1,0 +1,60 @@
+let typo rng s =
+  let n = String.length s in
+  if n < 2 then s
+  else begin
+    let b = Bytes.of_string s in
+    let i = Random.State.int rng (n - 1) in
+    match Random.State.int rng 3 with
+    | 0 ->
+        (* swap adjacent characters *)
+        let c = Bytes.get b i in
+        Bytes.set b i (Bytes.get b (i + 1));
+        Bytes.set b (i + 1) c;
+        Bytes.to_string b
+    | 1 ->
+        (* drop one character *)
+        String.sub s 0 i ^ String.sub s (i + 1) (n - i - 1)
+    | _ ->
+        (* duplicate one character *)
+        String.sub s 0 i ^ String.make 1 s.[i] ^ String.sub s i (n - i)
+  end
+
+let movie_title_variant rng ~title ~year =
+  match Random.State.int rng 6 with
+  | 0 | 1 -> Printf.sprintf "%s (%d)" title year
+  | 2 -> Printf.sprintf "%s - %d" title year
+  | 3 -> Printf.sprintf "%s [%d]" title year
+  | 4 -> Printf.sprintf "%s: %d" title year
+  | _ -> title
+
+let abbreviate_name rng name =
+  match String.index_opt name ' ' with
+  | None -> name
+  | Some i ->
+      if Random.State.bool rng then
+        Printf.sprintf "%c. %s" name.[0] (String.sub name (i + 1) (String.length name - i - 1))
+      else name
+
+(* Marketplace product titles never match the supplier's string exactly —
+   the paper's Walmart/Amazon setting, where Castor-Exact gains nothing
+   over Castor-NoMD. *)
+let product_title_variant rng name =
+  match Random.State.int rng 4 with
+  | 0 -> String.uppercase_ascii name
+  | 1 -> Printf.sprintf "%s - Retail" name
+  | 2 -> Printf.sprintf "%s (Model %c%d)" name
+           (Char.chr (Char.code 'A' + Random.State.int rng 5))
+           (100 + Random.State.int rng 900)
+  | _ -> String.lowercase_ascii name
+
+let venue_variant rng venue =
+  match Random.State.int rng 3 with
+  | 0 -> venue
+  | 1 ->
+      (* "SIGMOD Conference" -> "SIGMOD Conf." *)
+      if String.length venue > 6 && String.ends_with ~suffix:"Conference" venue
+      then String.sub venue 0 (String.length venue - 6) ^ "."
+      else venue
+  | _ -> "Proc. " ^ venue
+
+let maybe rng p f x = if Random.State.float rng 1.0 < p then f x else x

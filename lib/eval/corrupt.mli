@@ -1,0 +1,28 @@
+(** Value-corruption primitives used to simulate the heterogeneity of the
+    paper's datasets: the same entity rendered differently across sources
+    (§1), typos, abbreviated person names, and missing values. All
+    functions are deterministic in the supplied RNG state. *)
+
+(** [typo rng s] applies one random character edit (swap, drop or
+    duplicate); strings shorter than 2 characters are returned as is. *)
+val typo : Random.State.t -> string -> string
+
+(** [movie_title_variant rng ~title ~year] renders a movie title in one of
+    the source formats: ["T (Y)"], ["T - Y"], ["T [Y]"], ["T: Y"] or bare
+    ["T"]. *)
+val movie_title_variant : Random.State.t -> title:string -> year:int -> string
+
+(** [abbreviate_name rng name] turns ["John Smith"] into ["J. Smith"]
+    (or returns the input when it has no space). *)
+val abbreviate_name : Random.State.t -> string -> string
+
+(** [product_title_variant rng name] reorders or decorates a product name
+    the way marketplaces do (supplier suffixes, model codes). *)
+val product_title_variant : Random.State.t -> string -> string
+
+(** [venue_variant rng venue] abbreviates a venue string ("SIGMOD
+    Conference" → "SIGMOD Conf." / "Proc. SIGMOD Conference"). *)
+val venue_variant : Random.State.t -> string -> string
+
+(** [maybe rng p f x] applies [f] with probability [p]. *)
+val maybe : Random.State.t -> float -> (string -> string) -> string -> string

@@ -1,0 +1,59 @@
+type 'a fold = {
+  train_pos : 'a list;
+  train_neg : 'a list;
+  test_pos : 'a list;
+  test_neg : 'a list;
+}
+
+let shuffle rng l =
+  let arr = Array.of_list l in
+  for i = Array.length arr - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr
+
+(* Deal into k slices round-robin so the slices differ in size by at most
+   one element. *)
+let slices k l =
+  let buckets = Array.make k [] in
+  List.iteri (fun i x -> buckets.(i mod k) <- x :: buckets.(i mod k)) l;
+  Array.to_list (Array.map List.rev buckets)
+
+let folds ~k ~seed ~pos ~neg =
+  if k < 2 then invalid_arg "Cross_validation.folds: k must be at least 2";
+  if List.length pos < k || List.length neg < k then
+    invalid_arg "Cross_validation.folds: fewer examples than folds";
+  let rng = Random.State.make [| seed |] in
+  let pos = shuffle rng pos and neg = shuffle rng neg in
+  let pos_slices = slices k pos and neg_slices = slices k neg in
+  List.init k (fun i ->
+      let test_pos = List.nth pos_slices i and test_neg = List.nth neg_slices i in
+      let train_of slices =
+        List.concat (List.filteri (fun j _ -> j <> i) slices)
+      in
+      {
+        train_pos = train_of pos_slices;
+        train_neg = train_of neg_slices;
+        test_pos;
+        test_neg;
+      })
+
+let run ~k ~seed ~pos ~neg f = List.map f (folds ~k ~seed ~pos ~neg)
+
+let mean = function
+  | [] -> 0.0
+  | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let stddev l =
+  match l with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let m = mean l in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 l
+        /. float_of_int (List.length l - 1)
+      in
+      sqrt var

@@ -1,0 +1,24 @@
+(** k-fold cross validation (the paper evaluates with 5 folds, §6.1.3). *)
+
+type 'a fold = {
+  train_pos : 'a list;
+  train_neg : 'a list;
+  test_pos : 'a list;
+  test_neg : 'a list;
+}
+
+(** [folds ~k ~seed ~pos ~neg] shuffles both classes deterministically and
+    deals them into [k] folds; fold [i]'s test set is slice [i] of each
+    class.
+    @raise Invalid_argument when [k < 2] or a class has fewer than [k]
+    members. *)
+val folds : k:int -> seed:int -> pos:'a list -> neg:'a list -> 'a fold list
+
+(** [run ~k ~seed ~pos ~neg f] maps [f] over the folds and returns the
+    results in fold order. *)
+val run :
+  k:int -> seed:int -> pos:'a list -> neg:'a list -> ('a fold -> 'b) -> 'b list
+
+val mean : float list -> float
+
+val stddev : float list -> float

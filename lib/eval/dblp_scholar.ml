@@ -1,0 +1,126 @@
+open Dlearn_relation
+open Dlearn_constraints
+open Dlearn_core
+
+type paper = {
+  did : string;
+  gsid : string;
+  title : string;
+  venue : string;
+  year : int;
+  authors : string list;
+}
+
+let generate ?(n = 160) ?(seed = 13) () =
+  let rng = Random.State.make [| seed; 0xDB1 |] in
+  let used = Hashtbl.create 64 in
+  let fresh_title () =
+    let rec go attempts =
+      let t = Names.paper_title rng in
+      if Hashtbl.mem used t && attempts < 20 then go (attempts + 1)
+      else begin
+        Hashtbl.add used t ();
+        t
+      end
+    in
+    go 0
+  in
+  let papers =
+    List.init n (fun i ->
+        {
+          did = Printf.sprintf "dp%04d" i;
+          gsid = Printf.sprintf "gs%05d" i;
+          title = fresh_title ();
+          venue = Names.venue rng;
+          year = 1995 + Random.State.int rng 25;
+          authors =
+            List.init
+              (1 + Random.State.int rng 2)
+              (fun _ -> Names.person_name rng);
+        })
+  in
+  let db = Database.create () in
+  let dblp_pub =
+    Database.create_relation db
+      (Schema.string_attrs "dblp_pub" [ "did"; "title"; "venue"; "year" ])
+  in
+  let dblp_authors =
+    Database.create_relation db
+      (Schema.string_attrs "dblp_authors" [ "did"; "author" ])
+  in
+  let gs_pub =
+    Database.create_relation db
+      (Schema.string_attrs "gs_pub" [ "gsid"; "title"; "venue" ])
+  in
+  let gs_authors =
+    Database.create_relation db
+      (Schema.string_attrs "gs_authors" [ "gsid"; "author" ])
+  in
+  List.iter
+    (fun p ->
+      let sv s = Value.String s in
+      ignore
+        (Relation.insert dblp_pub
+           (Tuple.make
+              [ sv p.did; sv p.title; sv p.venue; sv (string_of_int p.year) ]));
+      List.iter
+        (fun a ->
+          ignore (Relation.insert dblp_authors (Tuple.make [ sv p.did; sv a ])))
+        p.authors;
+      let gs_title = Corrupt.maybe rng 0.3 (Corrupt.typo rng) p.title in
+      let gs_venue = Corrupt.venue_variant rng p.venue in
+      ignore
+        (Relation.insert gs_pub (Tuple.make [ sv p.gsid; sv gs_title; sv gs_venue ]));
+      List.iter
+        (fun a ->
+          ignore
+            (Relation.insert gs_authors
+               (Tuple.make [ sv p.gsid; sv (Corrupt.abbreviate_name rng a) ])))
+        p.authors)
+    papers;
+  let md_title =
+    Md.make ~id:"md_paper_title" ~left:"dblp_pub" ~right:"gs_pub"
+      ~compared:[ ("title", "title") ] ~unified:("title", "title") ()
+  in
+  let md_venue =
+    Md.make ~id:"md_venue" ~left:"dblp_pub" ~right:"gs_pub"
+      ~compared:[ ("venue", "venue") ] ~unified:("venue", "venue") ()
+  in
+  let cfds =
+    [
+      Cfd.fd ~id:"cfd_gs_title" ~relation:"gs_pub" [ "gsid" ] "title";
+      Cfd.fd ~id:"cfd_dblp_year" ~relation:"dblp_pub" [ "did" ] "year";
+    ]
+  in
+  let target = Schema.string_attrs "gsPaperYear" [ "gsId"; "year" ] in
+  let config =
+    {
+      (Config.default ~target) with
+      Config.depth = 3;
+      constant_attrs = [];
+      searchable_attrs =
+        [
+          ("dblp_pub", "did"); ("dblp_authors", "did");
+          ("gs_pub", "gsid"); ("gs_authors", "gsid");
+        ];
+      sim = { Md.default_sim with Md.threshold = 0.7 };
+      seed;
+    }
+  in
+  let pos =
+    List.map
+      (fun p ->
+        Tuple.make [ Value.String p.gsid; Value.String (string_of_int p.year) ])
+      papers
+  in
+  let neg =
+    List.map
+      (fun p ->
+        let wrong =
+          let offset = 1 + Random.State.int rng 10 in
+          if Random.State.bool rng then p.year + offset else p.year - offset
+        in
+        Tuple.make [ Value.String p.gsid; Value.String (string_of_int wrong) ])
+      papers
+  in
+  { Workload.name = "DBLP+Scholar"; db; mds = [ md_title; md_venue ]; cfds; config; pos; neg }

@@ -1,0 +1,12 @@
+(** The DBLP + Google Scholar workload (§6.1.1).
+
+    Bibliographic records: Scholar entries carry noisy titles, abbreviated
+    venues and author names, and {e no} publication year; DBLP carries the
+    clean year. The target [gsPaperYear(gsId, year)] augments Scholar with
+    the year as indicated by DBLP — the paper's binary-arity target. Two
+    MDs match titles and venues across sources. *)
+
+(** [generate ?n ?seed ()] builds the workload over [n] papers (default
+    160); there is one positive per paper and one negative with a wrong
+    year. *)
+val generate : ?n:int -> ?seed:int -> unit -> Workload.t

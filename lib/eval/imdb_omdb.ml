@@ -1,0 +1,246 @@
+open Dlearn_relation
+open Dlearn_constraints
+open Dlearn_core
+
+type movie = {
+  imdb_id : string;
+  omdb_id : string;
+  title : string;
+  year : int;
+  genres : string list;
+  rating : string;
+  country : string;
+  cast : string list;
+  writer : string;
+}
+
+let pick rng l = List.nth l (Random.State.int rng (List.length l))
+
+(* Weighted pools keep the target class (drama AND R) around 15% of the
+   movies so that a moderate [n] yields a workable number of positives. *)
+let weighted_genres = "drama" :: "drama" :: Names.genres
+let weighted_ratings = "R" :: "R" :: Names.ratings
+
+let generate ?(n = 150) ?(seed = 7) variant =
+  let rng = Random.State.make [| seed; 0x1DB |] in
+  let used_titles = Hashtbl.create 64 in
+  let fresh_title () =
+    let rec go attempts =
+      let t = Names.movie_title rng in
+      if Hashtbl.mem used_titles t && attempts < 20 then go (attempts + 1)
+      else begin
+        Hashtbl.add used_titles t ();
+        t
+      end
+    in
+    go 0
+  in
+  let titles_so_far = ref [] in
+  let movies =
+    List.init n (fun i ->
+        let genres =
+          let g1 = pick rng weighted_genres in
+          if Random.State.bool rng then [ g1 ]
+          else
+            let g2 = pick rng weighted_genres in
+            if String.equal g1 g2 then [ g1 ] else [ g1; g2 ]
+        in
+        {
+          imdb_id = Printf.sprintf "tt%04d" i;
+          omdb_id = Printf.sprintf "om%04d" i;
+          (* ~15% of movies are remakes: the same title under a different
+             year, the paper's Star Wars ambiguity — a bare or reformatted
+             title matches several distinct movies, so greedy resolution
+             must guess while repair literals keep every option. *)
+          title =
+            (let remake =
+               Random.State.int rng 100 < 15 && !titles_so_far <> []
+             in
+             let t =
+               if remake then
+                 List.nth !titles_so_far
+                   (Random.State.int rng (List.length !titles_so_far))
+               else fresh_title ()
+             in
+             titles_so_far := t :: !titles_so_far;
+             t);
+          (* Several movies share each year, so the year join carries no
+             signal — in the paper's full-scale data a year joins
+             thousands of movies. (At one movie per year the year would be
+             a key and leak the rating across databases.) *)
+          year = 1992 + Random.State.int rng 24;
+          genres;
+          rating = pick rng weighted_ratings;
+          country = pick rng Names.countries;
+          cast = [ Names.person_name rng; Names.person_name rng ];
+          writer = Names.person_name rng;
+        })
+  in
+  let db = Database.create () in
+  let imdb_movies =
+    Database.create_relation db
+      (Schema.string_attrs "imdb_movies" [ "id"; "title"; "year" ])
+  in
+  let imdb_genres =
+    Database.create_relation db
+      (Schema.string_attrs "imdb_mov2genres" [ "id"; "genre" ])
+  in
+  let imdb_countries =
+    Database.create_relation db
+      (Schema.string_attrs "imdb_mov2countries" [ "id"; "country" ])
+  in
+  let imdb_cast =
+    Database.create_relation db (Schema.string_attrs "imdb_cast" [ "id"; "name" ])
+  in
+  let imdb_writers =
+    Database.create_relation db
+      (Schema.string_attrs "imdb_writers" [ "id"; "name" ])
+  in
+  let omdb_movies =
+    Database.create_relation db
+      (Schema.string_attrs "omdb_movies" [ "oid"; "title"; "year" ])
+  in
+  let omdb_rating =
+    Database.create_relation db
+      (Schema.string_attrs "omdb_rating" [ "oid"; "rating" ])
+  in
+  let omdb_genres =
+    Database.create_relation db
+      (Schema.string_attrs "omdb_mov2genres" [ "oid"; "genre" ])
+  in
+  let omdb_cast =
+    Database.create_relation db (Schema.string_attrs "omdb_cast" [ "oid"; "name" ])
+  in
+  let omdb_writers =
+    Database.create_relation db
+      (Schema.string_attrs "omdb_writers" [ "oid"; "name" ])
+  in
+  (* Titles shared by several movies (remakes): OMDB lists them bare half
+     the time — the title alone then matches every remake, the paper's
+     "Star Wars" ambiguity, which greedy resolution has to guess away. *)
+  let title_counts = Hashtbl.create 64 in
+  List.iter
+    (fun m ->
+      Hashtbl.replace title_counts m.title
+        (1 + Option.value ~default:0 (Hashtbl.find_opt title_counts m.title)))
+    movies;
+  List.iter
+    (fun m ->
+      let sv s = Value.String s in
+      let imdb_title = Printf.sprintf "%s (%d)" m.title m.year in
+      let ambiguous =
+        Option.value ~default:0 (Hashtbl.find_opt title_counts m.title) > 1
+      in
+      let omdb_title =
+        if ambiguous && Random.State.bool rng then m.title
+        else
+          Corrupt.maybe rng 0.15 (Corrupt.typo rng)
+            (Corrupt.movie_title_variant rng ~title:m.title ~year:m.year)
+      in
+      ignore
+        (Relation.insert imdb_movies
+           (Tuple.make [ sv m.imdb_id; sv imdb_title; sv (string_of_int m.year) ]));
+      List.iter
+        (fun g ->
+          ignore (Relation.insert imdb_genres (Tuple.make [ sv m.imdb_id; sv g ])))
+        m.genres;
+      ignore
+        (Relation.insert imdb_countries (Tuple.make [ sv m.imdb_id; sv m.country ]));
+      List.iter
+        (fun c ->
+          ignore (Relation.insert imdb_cast (Tuple.make [ sv m.imdb_id; sv c ])))
+        m.cast;
+      ignore
+        (Relation.insert imdb_writers (Tuple.make [ sv m.imdb_id; sv m.writer ]));
+      ignore
+        (Relation.insert omdb_movies
+           (Tuple.make [ sv m.omdb_id; sv omdb_title; sv (string_of_int m.year) ]));
+      ignore
+        (Relation.insert omdb_rating (Tuple.make [ sv m.omdb_id; sv m.rating ]));
+      List.iter
+        (fun g ->
+          ignore (Relation.insert omdb_genres (Tuple.make [ sv m.omdb_id; sv g ])))
+        m.genres;
+      List.iter
+        (fun c ->
+          ignore
+            (Relation.insert omdb_cast
+               (Tuple.make [ sv m.omdb_id; sv (Corrupt.abbreviate_name rng c) ])))
+        m.cast;
+      ignore
+        (Relation.insert omdb_writers
+           (Tuple.make [ sv m.omdb_id; sv (Corrupt.abbreviate_name rng m.writer) ])))
+    movies;
+  let md_title =
+    Md.make ~id:"md_title" ~left:"imdb_movies" ~right:"omdb_movies"
+      ~compared:[ ("title", "title") ] ~unified:("title", "title") ()
+  in
+  (* Person names need a stricter operator than titles: shared surnames
+     score ~0.75 under the averaged similarity, true abbreviations ~0.87. *)
+  let md_cast =
+    Md.make ~id:"md_cast" ~left:"imdb_cast" ~right:"omdb_cast"
+      ~compared:[ ("name", "name") ] ~unified:("name", "name") ~threshold:0.8 ()
+  in
+  let md_writer =
+    Md.make ~id:"md_writer" ~left:"imdb_writers" ~right:"omdb_writers"
+      ~compared:[ ("name", "name") ] ~unified:("name", "name") ~threshold:0.8 ()
+  in
+  let mds =
+    match variant with
+    | `One_md -> [ md_title ]
+    | `Three_mds -> [ md_title; md_cast; md_writer ]
+  in
+  let cfds =
+    [
+      Cfd.fd ~id:"cfd_imdb_title" ~relation:"imdb_movies" [ "id" ] "title";
+      Cfd.fd ~id:"cfd_imdb_year" ~relation:"imdb_movies" [ "id" ] "year";
+      Cfd.fd ~id:"cfd_omdb_rating" ~relation:"omdb_rating" [ "oid" ] "rating";
+      Cfd.fd ~id:"cfd_omdb_title" ~relation:"omdb_movies" [ "oid" ] "title";
+    ]
+  in
+  let target = Schema.string_attrs "dramaRestrictedMovies" [ "imdbId" ] in
+  let config =
+    {
+      (Config.default ~target) with
+      Config.depth = 3;
+      constant_attrs =
+        [
+          ("imdb_mov2genres", "genre");
+          ("omdb_mov2genres", "genre");
+          ("omdb_rating", "rating");
+          ("imdb_mov2countries", "country");
+        ];
+      (* Joins follow the id columns; cross-source reach goes through the
+         MDs only (the paper's Castor declares the same via inclusion
+         dependencies). *)
+      searchable_attrs =
+        [
+          ("imdb_movies", "id"); ("imdb_mov2genres", "id");
+          ("imdb_mov2countries", "id"); ("imdb_cast", "id");
+          ("imdb_writers", "id"); ("omdb_movies", "oid");
+          ("omdb_rating", "oid"); ("omdb_mov2genres", "oid");
+          ("omdb_cast", "oid"); ("omdb_writers", "oid");
+        ];
+      sim = { Md.default_sim with Md.threshold = 0.7 };
+      seed;
+    }
+  in
+  let is_positive m = List.mem "drama" m.genres && String.equal m.rating "R" in
+  let pos =
+    List.filter_map
+      (fun m -> if is_positive m then Some (Tuple.make [ Value.String m.imdb_id ]) else None)
+      movies
+  in
+  let others =
+    List.filter_map
+      (fun m ->
+        if is_positive m then None else Some (Tuple.make [ Value.String m.imdb_id ]))
+      movies
+  in
+  let neg = Workload.sample rng (2 * List.length pos) others in
+  let name =
+    match variant with
+    | `One_md -> "IMDB+OMDB (one MD)"
+    | `Three_mds -> "IMDB+OMDB (three MDs)"
+  in
+  { Workload.name; db; mds; cfds; config; pos; neg }

@@ -1,0 +1,18 @@
+(** The IMDB + OMDB workload (§6.1.1).
+
+    Two movie databases describing the same underlying movies under
+    different title formats, with typos, abbreviated cast and writer
+    names, and franchise sequels that make title matching ambiguous. The
+    target relation is [dramaRestrictedMovies(imdbId)] — drama movies
+    rated R — where the id exists only in IMDB, genres exist in both, and
+    the rating exists only in OMDB, so the concept is unlearnable without
+    crossing the databases.
+
+    Variants: [`One_md] matches titles only; [`Three_mds] additionally
+    matches cast-member and writer names (which contain many exact
+    matches, the regime where the paper's Castor-Exact is competitive). *)
+
+(** [generate ?n ?seed variant] builds the workload; [n] (default 150) is
+    the number of underlying movies; positives are every drama-R movie,
+    negatives twice as many sampled others. *)
+val generate : ?n:int -> ?seed:int -> [ `One_md | `Three_mds ] -> Workload.t

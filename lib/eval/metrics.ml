@@ -1,0 +1,32 @@
+type confusion = {
+  tp : int;
+  fp : int;
+  tn : int;
+  fn : int;
+}
+
+let empty = { tp = 0; fp = 0; tn = 0; fn = 0 }
+
+let add a b =
+  { tp = a.tp + b.tp; fp = a.fp + b.fp; tn = a.tn + b.tn; fn = a.fn + b.fn }
+
+let of_predictions ~predict ~pos ~neg =
+  let count p l = List.length (List.filter p l) in
+  let tp = count predict pos in
+  let fp = count predict neg in
+  { tp; fp; tn = List.length neg - fp; fn = List.length pos - tp }
+
+let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
+
+let precision c = ratio c.tp (c.tp + c.fp)
+let recall c = ratio c.tp (c.tp + c.fn)
+
+let f1 c =
+  let p = precision c and r = recall c in
+  if p +. r = 0.0 then 0.0 else 2.0 *. p *. r /. (p +. r)
+
+let accuracy c = ratio (c.tp + c.tn) (c.tp + c.fp + c.tn + c.fn)
+
+let pp fmt c =
+  Format.fprintf fmt "tp=%d fp=%d tn=%d fn=%d p=%.3f r=%.3f f1=%.3f" c.tp c.fp
+    c.tn c.fn (precision c) (recall c) (f1 c)

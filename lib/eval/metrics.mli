@@ -1,0 +1,33 @@
+(** Binary-classification metrics over the target relation (§6.1.3). *)
+
+type confusion = {
+  tp : int;
+  fp : int;
+  tn : int;
+  fn : int;
+}
+
+val empty : confusion
+
+val add : confusion -> confusion -> confusion
+
+(** [of_predictions ~predict ~pos ~neg] runs the predictor over labelled
+    test examples. *)
+val of_predictions :
+  predict:(Dlearn_relation.Tuple.t -> bool) ->
+  pos:Dlearn_relation.Tuple.t list ->
+  neg:Dlearn_relation.Tuple.t list ->
+  confusion
+
+(** Precision TP/(TP+FP); 0 when the denominator is 0. *)
+val precision : confusion -> float
+
+(** Recall TP/(TP+FN); 0 when the denominator is 0. *)
+val recall : confusion -> float
+
+(** Harmonic mean of precision and recall; 0 when both are 0. *)
+val f1 : confusion -> float
+
+val accuracy : confusion -> float
+
+val pp : Format.formatter -> confusion -> unit

@@ -1,0 +1,119 @@
+let pick rng arr = arr.(Random.State.int rng (Array.length arr))
+
+let title_adjectives =
+  [|
+    "Dark"; "Silent"; "Golden"; "Broken"; "Hidden"; "Lost"; "Crimson";
+    "Eternal"; "Savage"; "Gentle"; "Burning"; "Frozen"; "Electric";
+    "Midnight"; "Distant"; "Hollow"; "Iron"; "Velvet"; "Wild"; "Quiet";
+  |]
+
+let title_nouns =
+  [|
+    "Empire"; "River"; "Horizon"; "Garden"; "Station"; "Kingdom"; "Echo";
+    "Harvest"; "Voyage"; "Orchard"; "Tempest"; "Lantern"; "Fortress";
+    "Meadow"; "Signal"; "Carnival"; "Archive"; "Summit"; "Labyrinth";
+    "Harbor";
+  |]
+
+let romans = [| ""; " II"; " III"; " IV"; " V" |]
+
+let movie_title rng =
+  let base =
+    Printf.sprintf "The %s %s" (pick rng title_adjectives) (pick rng title_nouns)
+  in
+  (* A quarter of the titles are franchise entries: same base, a sequel
+     number — near-duplicates that make similarity matching ambiguous. *)
+  if Random.State.int rng 4 = 0 then base ^ pick rng romans else base
+
+let first_names =
+  [|
+    "John"; "Mary"; "Ahmed"; "Yuki"; "Carlos"; "Ingrid"; "Priya"; "Liam";
+    "Sofia"; "Chen"; "Amara"; "Viktor"; "Elena"; "Kwame"; "Noor"; "Pedro";
+    "Astrid"; "Bruno"; "Celine"; "Dmitri"; "Esther"; "Farid"; "Greta";
+    "Hiro"; "Imani"; "Jorge"; "Katya"; "Lars"; "Mei"; "Nadia"; "Omar";
+    "Paula"; "Quentin"; "Rosa"; "Sven"; "Tara"; "Umar"; "Vera"; "Wendell";
+    "Ximena"; "Yosef"; "Zara"; "Anders"; "Bianca"; "Cedric"; "Dalia";
+  |]
+
+let last_names =
+  [|
+    "Smith"; "Garcia"; "Tanaka"; "Muller"; "Okafor"; "Silva"; "Ivanov";
+    "Haddad"; "Kowalski"; "Nguyen"; "Fernandez"; "Larsen"; "Moreau";
+    "Rossi"; "Ahmadi"; "Osei"; "Bergstrom"; "Castellanos"; "Dimitriou";
+    "Eriksen"; "Fontaine"; "Gruber"; "Hashimoto"; "Iyer"; "Jankowski";
+    "Karlsson"; "Lindqvist"; "Mbeki"; "Novak"; "Oliveira"; "Petrov";
+    "Quispe"; "Rahman"; "Santos"; "Takahashi"; "Ueda"; "Vasquez";
+    "Weber"; "Xu"; "Yamamoto"; "Zielinski"; "Abebe"; "Bellini";
+  |]
+
+(* Three-part names: the middle name gives the similarity operator enough
+   signal to separate true abbreviations ("J. Rosa Smith") from
+   shared-surname coincidences. *)
+let person_name rng =
+  Printf.sprintf "%s %s %s" (pick rng first_names) (pick rng first_names)
+    (pick rng last_names)
+
+let product_adjectives =
+  [|
+    "Wireless"; "Ergonomic"; "Compact"; "Portable"; "Premium"; "Ultra";
+    "Foldable"; "Rugged"; "Slim"; "Heavy-Duty"; "Adjustable"; "Universal";
+  |]
+
+let product_items =
+  [|
+    "Keyboard"; "Mouse"; "Monitor Stand"; "USB Hub"; "Laptop Sleeve";
+    "Webcam"; "Headset"; "Desk Lamp"; "Blender"; "Toaster"; "Backpack";
+    "Water Bottle"; "Office Chair"; "Notebook"; "Charger"; "Speaker";
+  |]
+
+let product_name rng =
+  Printf.sprintf "%s %s %s"
+    (pick rng [| "Acme"; "Zenith"; "Orbit"; "Nimbus"; "Quark"; "Vertex" |])
+    (pick rng product_adjectives) (pick rng product_items)
+
+let paper_topics =
+  [|
+    "Query Optimization"; "Entity Resolution"; "Data Cleaning";
+    "Stream Processing"; "Graph Analytics"; "Index Structures";
+    "Transaction Processing"; "Schema Matching"; "Provenance Tracking";
+    "Approximate Counting"; "View Maintenance"; "Workload Forecasting";
+  |]
+
+let paper_modifiers =
+  [|
+    "Scalable"; "Adaptive"; "Efficient"; "Distributed"; "Incremental";
+    "Robust"; "Learned"; "Parallel"; "Declarative"; "Interactive";
+  |]
+
+let paper_settings =
+  [|
+    "in Main-Memory Systems"; "over Evolving Graphs"; "for Dirty Data";
+    "at Scale"; "in the Cloud"; "under Constraints"; "with Guarantees";
+    "on Modern Hardware"; "for Relational Learning"; "in Practice";
+  |]
+
+let paper_title rng =
+  Printf.sprintf "%s %s %s" (pick rng paper_modifiers) (pick rng paper_topics)
+    (pick rng paper_settings)
+
+let venues_arr =
+  [|
+    "SIGMOD Conference"; "VLDB"; "ICDE"; "EDBT"; "CIDR"; "PODS";
+    "SIGMOD Record"; "VLDB Journal"; "TODS"; "ICDT";
+  |]
+
+let venue rng = pick rng venues_arr
+
+let genres =
+  [ "drama"; "comedy"; "action"; "horror"; "scifi"; "romance"; "thriller"; "documentary" ]
+
+let ratings = [ "G"; "PG"; "PG-13"; "R" ]
+
+let countries = [ "USA"; "UK"; "France"; "Japan"; "Spain"; "Germany"; "Brazil"; "India" ]
+
+let languages = [ "English"; "French"; "Japanese"; "Spanish"; "German"; "Portuguese"; "Hindi" ]
+
+let product_categories =
+  [ "Computers Accessories"; "Home Kitchen"; "Office Products"; "Sports Outdoors"; "Electronics General" ]
+
+let brands = [ "Acme"; "Zenith"; "Orbit"; "Nimbus"; "Quark"; "Vertex" ]

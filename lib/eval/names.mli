@@ -1,0 +1,28 @@
+(** Deterministic pools of plausible names for the workload generators:
+    movie titles (with franchise sequels, so that similarity matching is
+    genuinely ambiguous the way "Star Wars" is in the paper's §1), person
+    names, product names, paper titles and venues. *)
+
+(** [movie_title rng] draws a base title; roughly one in four titles
+    belongs to a franchise and carries a roman-numeral sequel suffix. *)
+val movie_title : Random.State.t -> string
+
+val person_name : Random.State.t -> string
+
+val product_name : Random.State.t -> string
+
+val paper_title : Random.State.t -> string
+
+val venue : Random.State.t -> string
+
+val genres : string list
+
+val ratings : string list
+
+val countries : string list
+
+val languages : string list
+
+val product_categories : string list
+
+val brands : string list

@@ -1,0 +1,169 @@
+open Dlearn_relation
+open Dlearn_constraints
+open Dlearn_core
+
+type product = {
+  pid : string;
+  aid : string;
+  upc : string;
+  title : string;
+  brand : string;
+  category : string;
+  price : int;
+  weight : int;
+}
+
+let pick rng l = List.nth l (Random.State.int rng (List.length l))
+
+(* Walmart's group names are much coarser than Amazon's categories — the
+   paper's learned definitions show "Electronics - General" as a lossy
+   proxy for "Computers Accessories": it also covers general electronics
+   and office products, so alone it cannot meet the precision bar. *)
+let group_of_category = function
+  | "Computers Accessories" | "Electronics General" | "Office Products" ->
+      "Electronics - General"
+  | "Home Kitchen" | "Sports Outdoors" -> "Home"
+  | _ -> "General Merchandise"
+
+let generate ?(n = 180) ?(seed = 11) () =
+  let rng = Random.State.make [| seed; 0x11A |] in
+  let used = Hashtbl.create 64 in
+  let fresh_name () =
+    let rec go attempts =
+      let t = Names.product_name rng in
+      if Hashtbl.mem used t && attempts < 20 then go (attempts + 1)
+      else begin
+        Hashtbl.add used t ();
+        t
+      end
+    in
+    go 0
+  in
+  let products =
+    List.init n (fun i ->
+        let title = fresh_name () in
+        let category =
+          (* Accessory-sounding items are usually Computers Accessories;
+             the rest are spread over the other categories. *)
+          if Random.State.int rng 10 < 3 then "Computers Accessories"
+          else pick rng (List.tl Names.product_categories)
+        in
+        {
+          pid = Printf.sprintf "wp%04d" i;
+          aid = Printf.sprintf "ap%04d" i;
+          upc = Printf.sprintf "upc%06d" (100000 + i);
+          title;
+          brand = pick rng Names.brands;
+          category;
+          price = 5 + Random.State.int rng 500;
+          weight = 1 + Random.State.int rng 40;
+        })
+  in
+  let db = Database.create () in
+  let w_ids =
+    Database.create_relation db
+      (Schema.string_attrs "walmart_ids" [ "pid"; "brand"; "upc" ])
+  in
+  let w_title =
+    Database.create_relation db
+      (Schema.string_attrs "walmart_title" [ "pid"; "title" ])
+  in
+  let w_group =
+    Database.create_relation db
+      (Schema.string_attrs "walmart_groupname" [ "pid"; "groupname" ])
+  in
+  let w_brand =
+    Database.create_relation db
+      (Schema.string_attrs "walmart_brand" [ "pid"; "brand" ])
+  in
+  let a_title =
+    Database.create_relation db
+      (Schema.string_attrs "amazon_title" [ "aid"; "title" ])
+  in
+  let a_category =
+    Database.create_relation db
+      (Schema.string_attrs "amazon_category" [ "aid"; "category" ])
+  in
+  let a_price =
+    Database.create_relation db
+      (Schema.string_attrs "amazon_listprice" [ "aid"; "price" ])
+  in
+  let a_weight =
+    Database.create_relation db
+      (Schema.string_attrs "amazon_itemweight" [ "aid"; "weight" ])
+  in
+  List.iter
+    (fun p ->
+      let sv s = Value.String s in
+      ignore
+        (Relation.insert w_ids (Tuple.make [ sv p.pid; sv p.brand; sv p.upc ]));
+      ignore (Relation.insert w_title (Tuple.make [ sv p.pid; sv p.title ]));
+      ignore
+        (Relation.insert w_group
+           (Tuple.make [ sv p.pid; sv (group_of_category p.category) ]));
+      ignore (Relation.insert w_brand (Tuple.make [ sv p.pid; sv p.brand ]));
+      let amazon_title =
+        Corrupt.maybe rng 0.1 (Corrupt.typo rng)
+          (Corrupt.product_title_variant rng p.title)
+      in
+      ignore (Relation.insert a_title (Tuple.make [ sv p.aid; sv amazon_title ]));
+      ignore
+        (Relation.insert a_category (Tuple.make [ sv p.aid; sv p.category ]));
+      ignore
+        (Relation.insert a_price
+           (Tuple.make [ sv p.aid; sv (string_of_int p.price) ]));
+      ignore
+        (Relation.insert a_weight
+           (Tuple.make [ sv p.aid; sv (string_of_int p.weight) ])))
+    products;
+  let md_title =
+    Md.make ~id:"md_product_title" ~left:"walmart_title" ~right:"amazon_title"
+      ~compared:[ ("title", "title") ] ~unified:("title", "title") ()
+  in
+  let cfds =
+    [
+      Cfd.fd ~id:"cfd_w_upc" ~relation:"walmart_ids" [ "pid" ] "upc";
+      Cfd.fd ~id:"cfd_w_title" ~relation:"walmart_title" [ "pid" ] "title";
+      Cfd.fd ~id:"cfd_w_group" ~relation:"walmart_groupname" [ "pid" ] "groupname";
+      Cfd.fd ~id:"cfd_a_title" ~relation:"amazon_title" [ "aid" ] "title";
+      Cfd.fd ~id:"cfd_a_category" ~relation:"amazon_category" [ "aid" ] "category";
+      Cfd.fd ~id:"cfd_a_price" ~relation:"amazon_listprice" [ "aid" ] "price";
+    ]
+  in
+  let target = Schema.string_attrs "upcOfComputersAccessories" [ "upc" ] in
+  let config =
+    {
+      (Config.default ~target) with
+      Config.depth = 4;
+      constant_attrs =
+        [
+          ("amazon_category", "category");
+          ("walmart_groupname", "groupname");
+          ("walmart_brand", "brand");
+        ];
+      searchable_attrs =
+        [
+          ("walmart_ids", "pid"); ("walmart_ids", "upc");
+          ("walmart_title", "pid"); ("walmart_groupname", "pid");
+          ("walmart_brand", "pid"); ("amazon_title", "aid");
+          ("amazon_category", "aid"); ("amazon_listprice", "aid");
+          ("amazon_itemweight", "aid");
+        ];
+      sim = { Md.default_sim with Md.threshold = 0.7 };
+      seed;
+    }
+  in
+  let is_positive p = String.equal p.category "Computers Accessories" in
+  let pos =
+    List.filter_map
+      (fun p -> if is_positive p then Some (Tuple.make [ Value.String p.upc ]) else None)
+      products
+  in
+  let others =
+    List.filter_map
+      (fun p ->
+        if is_positive p then None else Some (Tuple.make [ Value.String p.upc ]))
+      products
+  in
+  let neg = Workload.sample rng (2 * List.length pos) others in
+  { Workload.name = "Walmart+Amazon"; db; mds = [ md_title ]; cfds; config; pos; neg }

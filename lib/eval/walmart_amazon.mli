@@ -1,0 +1,10 @@
+(** The Walmart + Amazon workload (§6.1.1).
+
+    Product catalogs from two marketplaces: the UPC exists only in
+    Walmart, the category only in Amazon, and titles are decorated
+    differently by each source. The target is
+    [upcOfComputersAccessories(upc)]. One MD connects the product titles. *)
+
+(** [generate ?n ?seed ()] builds the workload over [n] products (default
+    180). *)
+val generate : ?n:int -> ?seed:int -> unit -> Workload.t

@@ -1,0 +1,89 @@
+open Dlearn_relation
+open Dlearn_constraints
+
+type t = {
+  name : string;
+  db : Database.t;
+  mds : Md.t list;
+  cfds : Cfd.t list;
+  config : Dlearn_core.Config.t;
+  pos : Tuple.t list;
+  neg : Tuple.t list;
+}
+
+let replace_relation db name fresh =
+  let db' = Database.create () in
+  List.iter
+    (fun r ->
+      if String.equal (Relation.name r) name then Database.add_relation db' fresh
+      else Database.add_relation db' r)
+    (Database.relations db);
+  db'
+
+(* Corrupt one right-hand-side value: swap in a different value of the
+   same attribute when one exists, otherwise apply a typo. *)
+let corrupt_value rng relation pos v =
+  let alternatives =
+    List.filter (fun v' -> not (Value.equal v v')) (Relation.distinct_values relation pos)
+  in
+  match alternatives with
+  | [] -> Value.String (Corrupt.typo rng (Value.as_string v))
+  | _ -> List.nth alternatives (Random.State.int rng (List.length alternatives))
+
+let inject_violations t ~p ~seed =
+  if p <= 0.0 then t
+  else begin
+    let rng = Random.State.make [| seed; 0x1CFD |] in
+    let db =
+      List.fold_left
+        (fun db (cfd : Cfd.t) ->
+          match Database.find_opt db cfd.Cfd.relation with
+          | None -> db
+          | Some relation ->
+              let schema = Relation.schema relation in
+              let rhs_pos, _ = Cfd.rhs_position cfd schema in
+              let card = Relation.cardinality relation in
+              let count =
+                int_of_float (ceil (p *. float_of_int card))
+              in
+              let fresh = Relation.copy relation in
+              for _ = 1 to count do
+                let id = Random.State.int rng card in
+                let victim = Relation.get relation id in
+                let bad =
+                  Tuple.set victim rhs_pos
+                    (corrupt_value rng relation rhs_pos
+                       (Tuple.get victim rhs_pos))
+                in
+                ignore (Relation.insert fresh bad)
+              done;
+              replace_relation db cfd.Cfd.relation fresh)
+        (Database.copy t.db) t.cfds
+    in
+    { t with db; name = Printf.sprintf "%s(p=%.2f)" t.name p }
+  end
+
+let sample rng n l =
+  if List.length l <= n then l
+  else begin
+    let arr = Array.of_list l in
+    for i = Array.length arr - 1 downto 1 do
+      let j = Random.State.int rng (i + 1) in
+      let tmp = arr.(i) in
+      arr.(i) <- arr.(j);
+      arr.(j) <- tmp
+    done;
+    Array.to_list (Array.sub arr 0 n)
+  end
+
+let with_examples t ~pos ~neg ~seed =
+  let rng = Random.State.make [| seed; 0xE5A |] in
+  { t with pos = sample rng pos t.pos; neg = sample rng neg t.neg }
+
+let describe t =
+  Printf.sprintf "%s: %d relations, %d tuples, %d MDs, %d CFDs, %d+/%d- examples"
+    t.name
+    (List.length (Database.relations t.db))
+    (Database.total_tuples t.db)
+    (List.length t.mds) (List.length t.cfds) (List.length t.pos)
+    (List.length t.neg)

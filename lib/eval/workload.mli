@@ -1,0 +1,35 @@
+(** Learning workloads: a database, its constraints, a learner
+    configuration and labelled examples — everything one experiment run
+    needs (§6.1.1).
+
+    [inject_violations] implements §6.1.2: a proportion [p] of the tuples
+    of every relation constrained by some CFD is made to violate it, by
+    inserting a conflicting near-duplicate (same left-hand side, corrupted
+    right-hand side). The original tuple remains — which value is correct
+    is exactly the information a cleaning step would have to guess. *)
+
+type t = {
+  name : string;
+  db : Dlearn_relation.Database.t;
+  mds : Dlearn_constraints.Md.t list;
+  cfds : Dlearn_constraints.Cfd.t list;
+  config : Dlearn_core.Config.t;
+  pos : Dlearn_relation.Tuple.t list;
+  neg : Dlearn_relation.Tuple.t list;
+}
+
+(** [inject_violations t ~p ~seed] returns a workload whose database
+    contains, for each CFD, ⌈p·|R|⌉ violating pairs. [p = 0.] returns the
+    workload unchanged. *)
+val inject_violations : t -> p:float -> seed:int -> t
+
+(** [with_examples t ~pos ~neg ~seed] subsamples the example sets to the
+    requested sizes (for the scalability sweeps); requesting more examples
+    than available keeps them all. *)
+val with_examples : t -> pos:int -> neg:int -> seed:int -> t
+
+val describe : t -> string
+
+(** [sample rng n l] draws [n] elements without replacement (all of them
+    when [l] is shorter) — shared by the generators. *)
+val sample : Random.State.t -> int -> 'a list -> 'a list

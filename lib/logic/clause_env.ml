@@ -1,0 +1,50 @@
+module TermMap = Map.Make (Term)
+
+type t = {
+  parent : Term.t TermMap.t ref;  (* union-find forest over terms *)
+  sims : (Term.t * Term.t) list;  (* raw similarity literal pairs *)
+}
+
+let rec find t x =
+  match TermMap.find_opt x !(t.parent) with
+  | None -> x
+  | Some p ->
+      let root = find t p in
+      if not (Term.equal root p) then t.parent := TermMap.add x root !(t.parent);
+      root
+
+let union t x y =
+  let rx = find t x and ry = find t y in
+  if not (Term.equal rx ry) then t.parent := TermMap.add rx ry !(t.parent)
+
+let of_body body =
+  let t = { parent = ref TermMap.empty; sims = [] } in
+  let sims = ref [] in
+  List.iter
+    (function
+      | Literal.Eq (x, y) -> union t x y
+      | Literal.Sim (x, y) -> sims := (x, y) :: !sims
+      | Literal.Rel _ | Literal.Neq _ | Literal.Repair _ -> ())
+    body;
+  { t with sims = !sims }
+
+let of_clause (c : Clause.t) = of_body c.body
+
+let eq t x y =
+  Term.equal x y
+  || Term.equal (find t x) (find t y)
+  ||
+  match x, y with
+  | Term.Const a, Term.Const b -> Dlearn_relation.Value.equal a b
+  | (Term.Var _ | Term.Const _), _ -> false
+
+let neq t x y = not (eq t x y)
+
+let sim t x y =
+  eq t x y
+  || List.exists
+       (fun (a, b) ->
+         (eq t a x && eq t b y) || (eq t a y && eq t b x))
+       t.sims
+
+let eval_cond t c = Cond.eval ~eq:(eq t) ~neq:(neq t) ~sim:(sim t) c

@@ -1,0 +1,25 @@
+(** Equality and similarity environment of a clause.
+
+    Conditions of repair literals are evaluated "considering the
+    (restriction) literals in the clause" (§3.2): [u = v] holds if the
+    terms are identical, are equal constants, or are connected by a chain
+    of equality literals; [u ≠ v] is its negation; [u ≈ v] holds if they
+    are equal in that sense or some similarity literal links their
+    equality classes. *)
+
+type t
+
+(** [of_body body] builds the environment from the clause's restriction
+    literals (other literals are ignored). *)
+val of_body : Literal.t list -> t
+
+val of_clause : Clause.t -> t
+
+val eq : t -> Term.t -> Term.t -> bool
+
+val neq : t -> Term.t -> Term.t -> bool
+
+val sim : t -> Term.t -> Term.t -> bool
+
+(** [eval_cond t c] evaluates a repair condition under this environment. *)
+val eval_cond : t -> Cond.t -> bool

@@ -1,0 +1,51 @@
+type atom =
+  | Ceq of Term.t * Term.t
+  | Cneq of Term.t * Term.t
+  | Csim of Term.t * Term.t
+
+type t = atom list
+
+let atom_equal a b =
+  match a, b with
+  | Ceq (x, y), Ceq (x', y')
+  | Cneq (x, y), Cneq (x', y')
+  | Csim (x, y), Csim (x', y') ->
+      Term.equal x x' && Term.equal y y'
+  | (Ceq _ | Cneq _ | Csim _), _ -> false
+
+let equal a b = List.length a = List.length b && List.for_all2 atom_equal a b
+
+let map_atom f = function
+  | Ceq (x, y) -> Ceq (f x, f y)
+  | Cneq (x, y) -> Cneq (f x, f y)
+  | Csim (x, y) -> Csim (f x, f y)
+
+let map_terms f c = List.map (map_atom f) c
+
+let atom_terms = function
+  | Ceq (x, y) | Cneq (x, y) | Csim (x, y) -> [ x; y ]
+
+let vars c =
+  List.concat_map atom_terms c
+  |> List.filter_map (function Term.Var v -> Some v | Term.Const _ -> None)
+  |> List.sort_uniq String.compare
+
+let atom_to_string = function
+  | Ceq (x, y) -> Printf.sprintf "%s = %s" (Term.to_string x) (Term.to_string y)
+  | Cneq (x, y) ->
+      Printf.sprintf "%s != %s" (Term.to_string x) (Term.to_string y)
+  | Csim (x, y) -> Printf.sprintf "%s ~ %s" (Term.to_string x) (Term.to_string y)
+
+let to_string = function
+  | [] -> "true"
+  | atoms -> String.concat " & " (List.map atom_to_string atoms)
+
+let pp fmt c = Format.pp_print_string fmt (to_string c)
+
+let eval ~eq ~neq ~sim c =
+  List.for_all
+    (function
+      | Ceq (x, y) -> eq x y
+      | Cneq (x, y) -> neq x y
+      | Csim (x, y) -> sim x y)
+    c

@@ -1,0 +1,37 @@
+(** Conditions of repair literals (§3.2).
+
+    A condition [c] of a repair literal [V_c(x, v_x)] is a conjunction of
+    [=], [≠] and [≈] atoms over the terms of the clause. Evaluation is
+    relative to an environment supplied by the enclosing clause (its
+    equality and similarity literals) — see {!Clause_env}. *)
+
+type atom =
+  | Ceq of Term.t * Term.t
+  | Cneq of Term.t * Term.t
+  | Csim of Term.t * Term.t
+
+type t = atom list
+(** Conjunction; [[]] is the always-true condition. *)
+
+val atom_equal : atom -> atom -> bool
+
+val equal : t -> t -> bool
+
+(** [map_terms f c] rewrites every term in [c] — used when a repair
+    literal's application substitutes into the conditions of the others. *)
+val map_terms : (Term.t -> Term.t) -> t -> t
+
+val vars : t -> string list
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+(** [eval ~eq ~neq ~sim c] evaluates the conjunction with the given atom
+    oracles; each oracle answers for a pair of terms. *)
+val eval :
+  eq:(Term.t -> Term.t -> bool) ->
+  neq:(Term.t -> Term.t -> bool) ->
+  sim:(Term.t -> Term.t -> bool) ->
+  t ->
+  bool

@@ -1,0 +1,38 @@
+type t = {
+  target : string;
+  clauses : Clause.t list;
+}
+
+let empty target = { target; clauses = [] }
+
+let add t c =
+  if not (String.equal (Clause.head_pred c) t.target) then
+    invalid_arg
+      (Printf.sprintf "Definition.add: clause head %s, expected %s"
+         (Clause.head_pred c) t.target);
+  { t with clauses = t.clauses @ [ c ] }
+
+let size t = List.length t.clauses
+let is_empty t = t.clauses = []
+
+let repaired_definitions ?(cap = 256) t =
+  let choices = List.map Clause_repair.repaired_clauses t.clauses in
+  let rec product = function
+    | [] -> [ [] ]
+    | cs :: rest ->
+        let tails = product rest in
+        List.concat_map (fun c -> List.map (fun tl -> c :: tl) tails) cs
+  in
+  let rec take n = function
+    | [] -> []
+    | _ when n <= 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  take cap (List.map (fun cs -> { t with clauses = cs }) (product choices))
+
+let to_string t =
+  match t.clauses with
+  | [] -> Printf.sprintf "%s <- (empty definition)" t.target
+  | cs -> String.concat "\n" (List.map Clause.to_string cs)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,26 @@
+(** Horn definitions: sets of clauses sharing a head predicate (§2.1),
+    i.e. a non-recursive Datalog program / union of conjunctive queries. *)
+
+type t = {
+  target : string;  (** head predicate of every clause *)
+  clauses : Clause.t list;
+}
+
+val empty : string -> t
+
+(** [add t c] appends [c].
+    @raise Invalid_argument if [c]'s head predicate is not [t.target]. *)
+val add : t -> Clause.t -> t
+
+val size : t -> int
+
+val is_empty : t -> bool
+
+(** [repaired_definitions t] enumerates the repaired definitions of [t]:
+    each picks exactly one repaired clause per clause of [t] (§3.2). The
+    product is capped by [cap] (default 256). *)
+val repaired_definitions : ?cap:int -> t -> t list
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,162 @@
+type origin =
+  | From_md of string
+  | From_cfd of string
+
+type repair = {
+  origin : origin;
+  group : int;
+  cond : Cond.t;
+  subject : Term.t;
+  replacement : Term.t;
+  drops : t list;
+}
+
+and t =
+  | Rel of {
+      pred : string;
+      args : Term.t array;
+    }
+  | Sim of Term.t * Term.t
+  | Eq of Term.t * Term.t
+  | Neq of Term.t * Term.t
+  | Repair of repair
+
+let rel pred args = Rel { pred; args = Array.of_list args }
+
+let origin_equal a b =
+  match a, b with
+  | From_md x, From_md y | From_cfd x, From_cfd y -> String.equal x y
+  | (From_md _ | From_cfd _), _ -> false
+
+let origin_to_string = function
+  | From_md id -> "md:" ^ id
+  | From_cfd id -> "cfd:" ^ id
+
+let rec equal a b =
+  match a, b with
+  | Rel r1, Rel r2 ->
+      String.equal r1.pred r2.pred
+      && Array.length r1.args = Array.length r2.args
+      && Array.for_all2 Term.equal r1.args r2.args
+  | Sim (x, y), Sim (x', y') | Eq (x, y), Eq (x', y') | Neq (x, y), Neq (x', y')
+    ->
+      Term.equal x x' && Term.equal y y'
+  | Repair r1, Repair r2 ->
+      origin_equal r1.origin r2.origin
+      && r1.group = r2.group
+      && Cond.equal r1.cond r2.cond
+      && Term.equal r1.subject r2.subject
+      && Term.equal r1.replacement r2.replacement
+      && List.length r1.drops = List.length r2.drops
+      && List.for_all2 equal r1.drops r2.drops
+  | (Rel _ | Sim _ | Eq _ | Neq _ | Repair _), _ -> false
+
+let rank = function
+  | Rel _ -> 0
+  | Sim _ -> 1
+  | Eq _ -> 2
+  | Neq _ -> 3
+  | Repair _ -> 4
+
+let rec compare a b =
+  match a, b with
+  | Rel r1, Rel r2 -> (
+      match String.compare r1.pred r2.pred with
+      | 0 ->
+          let rec go i =
+            if i >= Array.length r1.args && i >= Array.length r2.args then 0
+            else if i >= Array.length r1.args then -1
+            else if i >= Array.length r2.args then 1
+            else
+              match Term.compare r1.args.(i) r2.args.(i) with
+              | 0 -> go (i + 1)
+              | c -> c
+          in
+          go 0
+      | c -> c)
+  | Sim (x, y), Sim (x', y') | Eq (x, y), Eq (x', y') | Neq (x, y), Neq (x', y')
+    -> (
+      match Term.compare x x' with 0 -> Term.compare y y' | c -> c)
+  | Repair r1, Repair r2 -> (
+      match
+        String.compare
+          (origin_to_string r1.origin)
+          (origin_to_string r2.origin)
+      with
+      | 0 -> (
+          match Int.compare r1.group r2.group with
+          | 0 -> (
+              match Term.compare r1.subject r2.subject with
+              | 0 -> (
+                  match Term.compare r1.replacement r2.replacement with
+                  | 0 -> List.compare compare r1.drops r2.drops
+                  | c -> c)
+              | c -> c)
+          | c -> c)
+      | c -> c)
+  | _ -> Int.compare (rank a) (rank b)
+
+let is_rel = function Rel _ -> true | Sim _ | Eq _ | Neq _ | Repair _ -> false
+
+let is_repair = function
+  | Repair _ -> true
+  | Rel _ | Sim _ | Eq _ | Neq _ -> false
+
+let is_restriction = function
+  | Sim _ | Eq _ | Neq _ -> true
+  | Rel _ | Repair _ -> false
+
+let terms = function
+  | Rel { args; _ } -> Array.to_list args
+  | Sim (x, y) | Eq (x, y) | Neq (x, y) -> [ x; y ]
+  | Repair { subject; replacement; cond; _ } ->
+      subject :: replacement
+      :: List.concat_map
+           (function
+             | Cond.Ceq (a, b) | Cond.Cneq (a, b) | Cond.Csim (a, b) -> [ a; b ])
+           cond
+
+let vars l =
+  terms l
+  |> List.filter_map (function Term.Var v -> Some v | Term.Const _ -> None)
+  |> List.sort_uniq String.compare
+
+let rec map_terms f = function
+  | Rel { pred; args } -> Rel { pred; args = Array.map f args }
+  | Sim (x, y) -> Sim (f x, f y)
+  | Eq (x, y) -> Eq (f x, f y)
+  | Neq (x, y) -> Neq (f x, f y)
+  | Repair r ->
+      Repair
+        {
+          r with
+          cond = Cond.map_terms f r.cond;
+          subject = f r.subject;
+          replacement = f r.replacement;
+          drops = List.map (map_terms f) r.drops;
+        }
+
+let rec to_string = function
+  | Rel { pred; args } ->
+      Printf.sprintf "%s(%s)" pred
+        (String.concat ", " (Array.to_list (Array.map Term.to_string args)))
+  | Sim (x, y) -> Printf.sprintf "%s ~ %s" (Term.to_string x) (Term.to_string y)
+  | Eq (x, y) -> Printf.sprintf "%s = %s" (Term.to_string x) (Term.to_string y)
+  | Neq (x, y) ->
+      Printf.sprintf "%s != %s" (Term.to_string x) (Term.to_string y)
+  | Repair r ->
+      let drops =
+        match r.drops with
+        | [] -> ""
+        | ds ->
+            Printf.sprintf " drops{%s}"
+              (String.concat "; " (List.map to_string ds))
+      in
+      Printf.sprintf "V[%s#%d|%s](%s, %s)%s"
+        (origin_to_string r.origin)
+        r.group (Cond.to_string r.cond)
+        (Term.to_string r.subject)
+        (Term.to_string r.replacement)
+        drops
+
+let pp fmt l = Format.pp_print_string fmt (to_string l)

@@ -1,0 +1,70 @@
+(** Literals of the extended Horn language (§3.2).
+
+    Besides schema atoms, the language contains:
+    - similarity literals [x ≈ y] between comparable terms;
+    - equality / inequality restriction literals;
+    - {b repair literals} [V_c(x, v_x)]: "replace [x] by [v_x] everywhere
+      if condition [c] holds in the clause". Each repair literal records
+      the constraint (MD or CFD) it came from, a group id tying together
+      the repair alternatives of one violation / one similarity match, and
+      the induced equality literals its application invalidates. *)
+
+type origin =
+  | From_md of string  (** MD identifier *)
+  | From_cfd of string  (** CFD identifier *)
+
+type repair = {
+  origin : origin;
+  group : int;
+      (** id of the violation or similarity-match instance this repair
+          belongs to; repairs in one group are alternatives — applying one
+          falsifies the conditions of the others. Group ids are local to a
+          clause and not compared across clauses. *)
+  cond : Cond.t;
+  subject : Term.t;  (** the term being replaced *)
+  replacement : Term.t;  (** the replacement variable (or merged value) *)
+  drops : t list;
+      (** induced equality literals deleted when this repair applies —
+          e.g. the [x1 = x2] literal of a CFD left-hand-side repair. *)
+}
+
+and t =
+  | Rel of {
+      pred : string;
+      args : Term.t array;
+    }  (** schema atom R(u1, ..., un) *)
+  | Sim of Term.t * Term.t  (** x ≈ y *)
+  | Eq of Term.t * Term.t
+  | Neq of Term.t * Term.t
+  | Repair of repair
+
+val rel : string -> Term.t list -> t
+
+val origin_equal : origin -> origin -> bool
+
+val origin_to_string : origin -> string
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val is_rel : t -> bool
+
+val is_repair : t -> bool
+
+(** [is_restriction l] holds for [Sim], [Eq] and [Neq] literals. *)
+val is_restriction : t -> bool
+
+(** [terms l] lists the top-level terms of [l]; for repair literals this is
+    subject, replacement and the condition's terms (drops excluded). *)
+val terms : t -> Term.t list
+
+val vars : t -> string list
+
+(** [map_terms f l] rewrites every term, including inside repair conditions
+    and drops. *)
+val map_terms : (Term.t -> Term.t) -> t -> t
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,190 @@
+open Dlearn_relation
+
+type token =
+  | Tident of string
+  | Tstring of string
+  | Tnumber of string
+  | Tlparen
+  | Trparen
+  | Tcomma
+  | Tarrow  (* <- or :- *)
+  | Tsim  (* ~ *)
+  | Teq  (* = *)
+  | Tneq  (* != *)
+
+exception Error of string
+
+let fail pos msg = raise (Error (Printf.sprintf "at %d: %s" pos msg))
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize s =
+  let n = String.length s in
+  let tokens = ref [] in
+  let push t = tokens := t :: !tokens in
+  let rec go i =
+    if i >= n then ()
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1)
+      | '(' ->
+          push Tlparen;
+          go (i + 1)
+      | ')' ->
+          push Trparen;
+          go (i + 1)
+      | ',' ->
+          push Tcomma;
+          go (i + 1)
+      | '~' ->
+          push Tsim;
+          go (i + 1)
+      | '=' ->
+          push Teq;
+          go (i + 1)
+      | '!' ->
+          if i + 1 < n && s.[i + 1] = '=' then begin
+            push Tneq;
+            go (i + 2)
+          end
+          else fail i "expected != "
+      | '<' | ':' ->
+          if i + 1 < n && s.[i + 1] = '-' then begin
+            push Tarrow;
+            go (i + 2)
+          end
+          else fail i "expected <- or :-"
+      | '"' ->
+          let buf = Buffer.create 16 in
+          let rec scan j =
+            if j >= n then fail i "unterminated string"
+            else if s.[j] = '\\' && j + 1 < n then begin
+              Buffer.add_char buf s.[j + 1];
+              scan (j + 2)
+            end
+            else if s.[j] = '"' then j + 1
+            else begin
+              Buffer.add_char buf s.[j];
+              scan (j + 1)
+            end
+          in
+          let next = scan (i + 1) in
+          push (Tstring (Buffer.contents buf));
+          go next
+      | c when is_digit c || (c = '-' && i + 1 < n && is_digit s.[i + 1]) ->
+          let j = ref (i + 1) in
+          while
+            !j < n && (is_digit s.[!j] || s.[!j] = '.' || s.[!j] = 'e' || s.[!j] = '-')
+          do
+            incr j
+          done;
+          push (Tnumber (String.sub s i (!j - i)));
+          go !j
+      | c when is_ident_start c ->
+          let j = ref (i + 1) in
+          while !j < n && is_ident_char s.[!j] do
+            incr j
+          done;
+          push (Tident (String.sub s i (!j - i)));
+          go !j
+      | c -> fail i (Printf.sprintf "unexpected character %C" c)
+  in
+  go 0;
+  List.rev !tokens
+
+(* Recursive-descent over the token list. *)
+let parse_clause tokens =
+  let tokens = ref tokens in
+  let peek () = match !tokens with [] -> None | t :: _ -> Some t in
+  let advance () =
+    match !tokens with
+    | [] -> fail 0 "unexpected end of input"
+    | t :: rest ->
+        tokens := rest;
+        t
+  in
+  let expect t msg = if advance () <> t then fail 0 msg in
+  let term () =
+    match advance () with
+    | Tident x -> Term.Var x
+    | Tstring s -> Term.Const (Value.String s)
+    | Tnumber num -> Term.Const (Value.of_string num)
+    | _ -> fail 0 "expected a term"
+  in
+  let atom name =
+    expect Tlparen "expected (";
+    let rec args acc =
+      let t = term () in
+      match advance () with
+      | Tcomma -> args (t :: acc)
+      | Trparen -> List.rev (t :: acc)
+      | _ -> fail 0 "expected , or )"
+    in
+    Literal.Rel { pred = name; args = Array.of_list (args []) }
+  in
+  let literal () =
+    match advance () with
+    | Tident name when peek () = Some Tlparen -> atom name
+    | (Tident _ | Tstring _ | Tnumber _) as t ->
+        let left =
+          match t with
+          | Tident x -> Term.Var x
+          | Tstring s -> Term.Const (Value.String s)
+          | Tnumber num -> Term.Const (Value.of_string num)
+          | _ -> assert false
+        in
+        let op = advance () in
+        let right = term () in
+        (match op with
+        | Tsim -> Literal.Sim (left, right)
+        | Teq -> Literal.Eq (left, right)
+        | Tneq -> Literal.Neq (left, right)
+        | _ -> fail 0 "expected ~, = or != after a term")
+    | _ -> fail 0 "expected a literal"
+  in
+  let head =
+    match advance () with
+    | Tident name -> atom name
+    | _ -> fail 0 "expected the head atom"
+  in
+  let body =
+    match peek () with
+    | None -> []
+    | Some Tarrow ->
+        ignore (advance ());
+        (* "true" as an empty body marker *)
+        if peek () = Some (Tident "true") then begin
+          ignore (advance ());
+          []
+        end
+        else begin
+          let rec go acc =
+            let l = literal () in
+            match peek () with
+            | Some Tcomma ->
+                ignore (advance ());
+                go (l :: acc)
+            | _ -> List.rev (l :: acc)
+          in
+          go []
+        end
+    | Some _ -> fail 0 "expected <- or end of input"
+  in
+  if !tokens <> [] then fail 0 "trailing tokens after the clause";
+  Clause.make ~head body
+
+let clause s =
+  match parse_clause (tokenize s) with
+  | c -> Ok c
+  | exception Error msg -> Result.Error msg
+  | exception Invalid_argument msg -> Result.Error msg
+
+let clause_exn s =
+  match clause s with
+  | Ok c -> c
+  | Error msg -> invalid_arg ("Parser.clause: " ^ msg)

@@ -1,0 +1,23 @@
+(** Parsing textual clauses, the inverse of {!Clause.to_string} for
+    repair-free clauses.
+
+    Grammar (whitespace-insensitive):
+    {v
+      clause  ::= atom ("<-" | ":-") body | atom
+      body    ::= literal ("," literal)*
+      literal ::= atom | term "~" term | term "=" term | term "!=" term
+      atom    ::= ident "(" term ("," term)* ")"
+      term    ::= "..."           string constant
+                | integer | float  numeric constant
+                | ident            variable
+    v}
+
+    Bare identifiers are variables; constants must be quoted or numeric.
+    Repair literals have no concrete syntax — clauses that need them are
+    built programmatically. *)
+
+(** [clause s] parses one clause. Errors carry a character position. *)
+val clause : string -> (Clause.t, string) result
+
+(** [clause_exn s] is [clause] or [Invalid_argument]. *)
+val clause_exn : string -> Clause.t

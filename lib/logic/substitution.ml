@@ -1,0 +1,30 @@
+module M = Map.Make (String)
+
+type t = Term.t M.t
+
+let empty = M.empty
+let singleton v term = M.singleton v term
+let of_list l = List.fold_left (fun m (v, t) -> M.add v t m) M.empty l
+let to_list t = M.bindings t
+let find t v = M.find_opt v t
+let mem t v = M.mem v t
+
+let bind t v term =
+  match M.find_opt v t with
+  | None -> Some (M.add v term t)
+  | Some existing -> if Term.equal existing term then Some t else None
+
+let apply_term t = function
+  | Term.Var v as var -> ( match M.find_opt v t with Some x -> x | None -> var)
+  | Term.Const _ as c -> c
+
+let apply_literal t l = Literal.map_terms (apply_term t) l
+let apply_clause t c = Clause.map_terms (apply_term t) c
+let cardinal = M.cardinal
+
+let pp fmt t =
+  Format.fprintf fmt "{%s}"
+    (String.concat ", "
+       (List.map
+          (fun (v, term) -> Printf.sprintf "%s/%s" v (Term.to_string term))
+          (M.bindings t)))

@@ -1,0 +1,33 @@
+(** Substitutions θ: finite maps from variable names to terms (§4.2). *)
+
+type t
+
+val empty : t
+
+val singleton : string -> Term.t -> t
+
+val of_list : (string * Term.t) list -> t
+
+val to_list : t -> (string * Term.t) list
+
+val find : t -> string -> Term.t option
+
+val mem : t -> string -> bool
+
+(** [bind t v term] extends [t] with [v ↦ term]. Returns [None] when [v]
+    is already bound to a different term — the consistency check at the
+    core of subsumption search. *)
+val bind : t -> string -> Term.t -> t option
+
+(** [apply_term t term] resolves a variable through [t] (one step —
+    substitutions here always map into the target clause's term space, so
+    no iteration is needed). *)
+val apply_term : t -> Term.t -> Term.t
+
+val apply_literal : t -> Literal.t -> Literal.t
+
+val apply_clause : t -> Clause.t -> Clause.t
+
+val cardinal : t -> int
+
+val pp : Format.formatter -> t -> unit

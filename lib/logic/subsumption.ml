@@ -1,0 +1,559 @@
+let src = Logs.Src.create "dlearn.subsumption"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type outcome =
+  | Subsumed of Substitution.t
+  | Not_subsumed
+  | Budget_exhausted
+
+exception Exhausted
+
+module IntSet = Set.Make (Int)
+
+(* The target clause D, preprocessed for fast candidate enumeration. *)
+type target = {
+  d_literals : Literal.t array; (* index 0 is the head *)
+  rels_by_pred : (string, int list) Hashtbl.t;
+  repairs_by_origin : (string, int list) Hashtbl.t;
+  sim_ids : int list;
+  env : Clause_env.t;
+  attached_repairs : IntSet.t array;
+      (* for each non-repair literal id, the ids of D repair literals
+         connected to it per Definition 4.4's connectivity *)
+}
+
+let literal_key_terms = function
+  | Literal.Repair { subject; replacement; _ } -> [ subject; replacement ]
+  | l -> Literal.terms l
+
+let prepare (d : Clause.t) =
+  let d_literals = Array.of_list (d.head :: d.body) in
+  let n = Array.length d_literals in
+  let rels_by_pred = Hashtbl.create 16 in
+  let repairs_by_origin = Hashtbl.create 16 in
+  let sim_ids = ref [] in
+  let push tbl key id =
+    Hashtbl.replace tbl key (id :: (Option.value ~default:[] (Hashtbl.find_opt tbl key)))
+  in
+  for id = 0 to n - 1 do
+    match d_literals.(id) with
+    | Literal.Rel { pred; _ } -> push rels_by_pred pred id
+    | Literal.Repair r -> push repairs_by_origin (Literal.origin_to_string r.origin) id
+    | Literal.Sim _ -> sim_ids := id :: !sim_ids
+    | Literal.Eq _ | Literal.Neq _ -> ()
+  done;
+  (* Connectivity of repair literals (Def. 4.4): a repair literal is
+     connected to a non-repair literal L when its subject or replacement
+     occurs in L, or occurs in the arguments of a repair literal connected
+     to L. We take the closure over repair-repair term sharing. *)
+  let repair_ids =
+    Hashtbl.fold (fun _ ids acc -> ids @ acc) repairs_by_origin []
+  in
+  let repair_terms =
+    List.map (fun id -> (id, literal_key_terms d_literals.(id))) repair_ids
+  in
+  let shares_term ts1 ts2 =
+    List.exists (fun t -> List.exists (Term.equal t) ts2) ts1
+  in
+  let attached_repairs =
+    Array.init n (fun id ->
+        match d_literals.(id) with
+        | Literal.Repair _ -> IntSet.empty
+        | l ->
+            let lterms = Literal.terms l in
+            let direct =
+              List.filter (fun (_, rts) -> shares_term rts lterms) repair_terms
+            in
+            let connected = ref direct in
+            let changed = ref true in
+            while !changed do
+              changed := false;
+              List.iter
+                (fun (rid, rts) ->
+                  if not (List.mem_assoc rid !connected) then
+                    if
+                      List.exists
+                        (fun (_, cts) -> shares_term rts cts)
+                        !connected
+                    then begin
+                      connected := (rid, rts) :: !connected;
+                      changed := true
+                    end)
+                repair_terms
+            done;
+            IntSet.of_list (List.map fst !connected))
+  in
+  {
+    d_literals;
+    rels_by_pred;
+    repairs_by_origin;
+    sim_ids = !sim_ids;
+    env = Clause_env.of_body (d.head :: d.body);
+    attached_repairs;
+  }
+
+(* A constant of C matches a term of D when they are equal, or when D's
+   equality literals identify them — ground bottom clauses relate split
+   occurrences of one value through explicit equality literals. *)
+let unify_term env theta c_term d_term =
+  match c_term with
+  | Term.Const _ ->
+      if Clause_env.eq env c_term d_term then Some theta else None
+  | Term.Var v -> Substitution.bind theta v d_term
+
+let unify_args env theta c_args d_args =
+  if Array.length c_args <> Array.length d_args then None
+  else
+    let rec go theta i =
+      if i >= Array.length c_args then Some theta
+      else
+        match unify_term env theta c_args.(i) d_args.(i) with
+        | Some theta' -> go theta' (i + 1)
+        | None -> None
+    in
+    go theta 0
+
+(* Candidate (θ', image-id option) extensions for one literal of C. *)
+let candidates target budget theta literal =
+  let spend n =
+    budget := !budget - n;
+    if !budget < 0 then raise Exhausted
+  in
+  match literal with
+  | Literal.Rel { pred; args } ->
+      let ids = Option.value ~default:[] (Hashtbl.find_opt target.rels_by_pred pred) in
+      spend (List.length ids);
+      List.filter_map
+        (fun id ->
+          match target.d_literals.(id) with
+          | Literal.Rel { args = dargs; _ } ->
+              Option.map (fun th -> (th, Some id)) (unify_args target.env theta args dargs)
+          | _ -> None)
+        ids
+  | Literal.Repair r ->
+      let key = Literal.origin_to_string r.origin in
+      let ids =
+        Option.value ~default:[] (Hashtbl.find_opt target.repairs_by_origin key)
+      in
+      spend (List.length ids);
+      List.filter_map
+        (fun id ->
+          match target.d_literals.(id) with
+          | Literal.Repair dr -> (
+              match unify_term target.env theta r.subject dr.subject with
+              | None -> None
+              | Some th -> (
+                  match unify_term target.env th r.replacement dr.replacement with
+                  | None -> None
+                  | Some th' -> Some (th', Some id)))
+          | _ -> None)
+        ids
+  | Literal.Sim (x, y) ->
+      let tx = Substitution.apply_term theta x
+      and ty = Substitution.apply_term theta y in
+      let via_env =
+        if Term.is_var tx || Term.is_var ty then []
+        else if Clause_env.sim target.env tx ty then [ (theta, None) ]
+        else []
+      in
+      spend (List.length target.sim_ids);
+      let via_literals =
+        List.concat_map
+          (fun id ->
+            match target.d_literals.(id) with
+            | Literal.Sim (dx, dy) ->
+                let attempt a b =
+                  match unify_term target.env theta x a with
+                  | None -> None
+                  | Some th -> (
+                      match unify_term target.env th y b with
+                      | None -> None
+                      | Some th' -> Some (th', Some id))
+                in
+                List.filter_map Fun.id [ attempt dx dy; attempt dy dx ]
+            | _ -> [])
+          target.sim_ids
+      in
+      via_env @ via_literals
+  | Literal.Eq _ | Literal.Neq _ -> assert false (* handled as checks *)
+
+(* Resolve Eq/Neq check literals once every generative literal is mapped.
+   Unbound variables are grouped by the Eq literals and each group bound
+   to its bound member, or to a fresh constant distinct from everything. *)
+let resolve_checks target theta checks =
+  let module UF = Hashtbl in
+  let parent : (string, string) UF.t = UF.create 8 in
+  let rec find v =
+    match UF.find_opt parent v with
+    | None -> v
+    | Some p ->
+        let r = find p in
+        UF.replace parent v r;
+        r
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then UF.replace parent ra rb
+  in
+  (* First pass: union unbound variables related by Eq checks. *)
+  List.iter
+    (function
+      | Literal.Eq (x, y) -> (
+          match
+            ( Substitution.apply_term theta x,
+              Substitution.apply_term theta y )
+          with
+          | Term.Var u, Term.Var v -> union u v
+          | _ -> ())
+      | _ -> ())
+    checks;
+  (* Second pass: bind each class — to a bound member's image if an Eq
+     check links it to one, otherwise to a fresh constant. *)
+  let class_binding : (string, Term.t) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (function
+      | Literal.Eq (x, y) -> (
+          match
+            ( Substitution.apply_term theta x,
+              Substitution.apply_term theta y )
+          with
+          | Term.Var u, (Term.Const _ as c) | (Term.Const _ as c), Term.Var u
+            ->
+              Hashtbl.replace class_binding (find u) c
+          | Term.Var u, (Term.Var _ as d) when not (Term.is_var (Substitution.apply_term theta d)) ->
+              Hashtbl.replace class_binding (find u) (Substitution.apply_term theta d)
+          | _ -> ())
+      | _ -> ())
+    checks;
+  let fresh_counter = ref 0 in
+  let resolve term =
+    match Substitution.apply_term theta term with
+    | Term.Const _ as c -> c
+    | Term.Var v -> (
+        let root = find v in
+        match Hashtbl.find_opt class_binding root with
+        | Some t -> t
+        | None ->
+            incr fresh_counter;
+            let c =
+              Term.Const
+                (Dlearn_relation.Value.String
+                   (Printf.sprintf "\xe2\x8a\xa5fresh:%s" root))
+            in
+            Hashtbl.replace class_binding root c;
+            c)
+  in
+  List.for_all
+    (function
+      | Literal.Eq (x, y) -> Clause_env.eq target.env (resolve x) (resolve y)
+      | Literal.Neq (x, y) -> Clause_env.neq target.env (resolve x) (resolve y)
+      | _ -> true)
+    checks
+
+let check_repair_connectivity target image =
+  (* Every D repair literal attached to a mapped non-repair literal must be
+     mapped itself. The head of D (id 0) is always mapped. *)
+  let mapped_non_repair = ref (IntSet.singleton 0) in
+  let mapped_repairs = ref IntSet.empty in
+  IntSet.iter
+    (fun id ->
+      match target.d_literals.(id) with
+      | Literal.Repair _ -> mapped_repairs := IntSet.add id !mapped_repairs
+      | _ -> mapped_non_repair := IntSet.add id !mapped_non_repair)
+    image;
+  IntSet.for_all
+    (fun id -> IntSet.subset target.attached_repairs.(id) !mapped_repairs)
+    !mapped_non_repair
+
+let is_check = function
+  | Literal.Eq _ | Literal.Neq _ -> true
+  | Literal.Rel _ | Literal.Sim _ | Literal.Repair _ -> false
+
+(* Split literals into connected components of the graph whose edges are
+   shared unbound variables. Components are independent subproblems: a
+   failed assignment in one can never be fixed by backtracking into
+   another, which is what makes matching 100-literal bottom clauses
+   tractable. *)
+let components theta literals =
+  let unbound l =
+    List.filter (fun v -> not (Substitution.mem theta v)) (Literal.vars l)
+  in
+  let items = List.map (fun l -> (l, unbound l)) literals in
+  let by_var : (string, int list ref) Hashtbl.t = Hashtbl.create 32 in
+  List.iteri
+    (fun i (_, vars) ->
+      List.iter
+        (fun v ->
+          match Hashtbl.find_opt by_var v with
+          | Some ids -> ids := i :: !ids
+          | None -> Hashtbl.add by_var v (ref [ i ]))
+        vars)
+    items;
+  let n = List.length items in
+  let arr = Array.of_list items in
+  let comp = Array.make n (-1) in
+  let rec mark i c =
+    if comp.(i) = -1 then begin
+      comp.(i) <- c;
+      List.iter
+        (fun v ->
+          match Hashtbl.find_opt by_var v with
+          | Some ids -> List.iter (fun j -> mark j c) !ids
+          | None -> ())
+        (snd arr.(i))
+    end
+  in
+  let next = ref 0 in
+  for i = 0 to n - 1 do
+    if comp.(i) = -1 then begin
+      mark i !next;
+      incr next
+    end
+  done;
+  List.init !next (fun c ->
+      List.filteri (fun i _ -> comp.(i) = c) (List.map fst items))
+
+let subsumes_target ?(budget = 200_000) ?(repair_connectivity = true)
+    (c : Clause.t) (target : target) =
+  let budget = ref budget in
+  let head_theta =
+    match c.head, target.d_literals.(0) with
+    | Literal.Rel { pred = p1; args = a1 }, Literal.Rel { pred = p2; args = a2 }
+      when String.equal p1 p2 ->
+        unify_args target.env Substitution.empty a1 a2
+    | _ -> None
+  in
+  match head_theta with
+  | None -> Not_subsumed
+  | Some theta0 -> (
+      let eval_check theta l =
+        match l with
+        | Literal.Eq (x, y) -> (
+            match
+              ( Substitution.apply_term theta x,
+                Substitution.apply_term theta y )
+            with
+            | (Term.Var _, _ | _, Term.Var _) -> `Unknown
+            | tx, ty ->
+                if Clause_env.eq target.env tx ty then `Sat else `Unsat)
+        | Literal.Neq (x, y) -> (
+            match
+              ( Substitution.apply_term theta x,
+                Substitution.apply_term theta y )
+            with
+            | (Term.Var _, _ | _, Term.Var _) -> `Unknown
+            | tx, ty ->
+                if Clause_env.neq target.env tx ty then `Sat else `Unsat)
+        | _ -> `Unknown
+      in
+      (* Solve one component: pick the generative literal with the fewest
+         unbound variables, branch over its candidate extensions, recurse
+         (the recursion re-splits into components). Returns the extended
+         substitution and image, or None. *)
+      let unbound_count theta l =
+        List.length
+          (List.filter
+             (fun v -> not (Substitution.mem theta v))
+             (Literal.vars l))
+      in
+      let rec solve remaining theta image =
+        (* Drop satisfied checks; fail on violated ones. *)
+        let rec filter_checks acc = function
+          | [] -> Some (List.rev acc)
+          | l :: rest when is_check l -> (
+              match eval_check theta l with
+              | `Sat -> filter_checks acc rest
+              | `Unsat -> None
+              | `Unknown -> filter_checks (l :: acc) rest)
+          | l :: rest -> filter_checks (l :: acc) rest
+        in
+        match filter_checks [] remaining with
+        | None -> None
+        | Some [] -> Some (theta, image)
+        | Some remaining -> (
+            match components theta remaining with
+            | [] -> Some (theta, image)
+            | [ component ] -> solve_component component theta image
+            | comps ->
+                (* Independent subproblems: thread θ and image through. *)
+                let rec fold theta image = function
+                  | [] -> Some (theta, image)
+                  | comp :: rest -> (
+                      match solve comp theta image with
+                      | None -> None
+                      | Some (theta', image') -> fold theta' image' rest)
+                in
+                fold theta image
+                  (List.stable_sort
+                     (fun a b ->
+                       Int.compare (List.length a) (List.length b))
+                     comps))
+      and solve_component component theta image =
+        let gens = List.filter (fun l -> not (is_check l)) component in
+        match gens with
+        | [] ->
+            (* Only restriction literals with unbound variables remain:
+               resolve them with the union-find / fresh-constant scheme. *)
+            if resolve_checks target theta component then Some (theta, image)
+            else None
+        | _ ->
+            (* Schema and repair atoms generate bindings; similarity
+               literals are satisfiable through the environment's closure
+               once their sides are bound, so they are only selected when
+               no atom remains -- picking one early with an unbound side
+               dead-ends whenever D has no explicit similarity literal. *)
+            let pool =
+              match
+                List.filter
+                  (function
+                    | Literal.Rel _ | Literal.Repair _ -> true
+                    | _ -> false)
+                  gens
+              with
+              | [] -> gens
+              | atoms -> atoms
+            in
+            let next, _ =
+              List.fold_left
+                (fun (best, best_score) l ->
+                  let score = unbound_count theta l in
+                  if score < best_score then (l, score) else (best, best_score))
+                (List.hd pool, unbound_count theta (List.hd pool))
+                (List.tl pool)
+            in
+            let rest = List.filter (fun l -> not (l == next)) component in
+            let rec try_candidates = function
+              | [] -> None
+              | (theta', id_opt) :: more -> (
+                  let image' =
+                    match id_opt with
+                    | Some id -> IntSet.add id image
+                    | None -> image
+                  in
+                  match solve rest theta' image' with
+                  | Some _ as ok -> ok
+                  | None -> try_candidates more)
+            in
+            try_candidates (candidates target budget theta next)
+      in
+      try
+        match solve c.body theta0 IntSet.empty with
+        | Some (theta, image) ->
+            if
+              repair_connectivity
+              && not (check_repair_connectivity target image)
+            then Not_subsumed
+            else Subsumed theta
+        | None -> Not_subsumed
+      with Exhausted -> Budget_exhausted)
+
+let subsumes ?budget ?repair_connectivity c d =
+  subsumes_target ?budget ?repair_connectivity c (prepare d)
+
+(* Reference engine: chronological backtracking in body order. *)
+let subsumes_naive ?(budget = 200_000) ?(repair_connectivity = true)
+    (c : Clause.t) (d : Clause.t) =
+  let target = prepare d in
+  let budget = ref budget in
+  let head_theta =
+    match c.head, target.d_literals.(0) with
+    | Literal.Rel { pred = p1; args = a1 }, Literal.Rel { pred = p2; args = a2 }
+      when String.equal p1 p2 ->
+        unify_args target.env Substitution.empty a1 a2
+    | _ -> None
+  in
+  match head_theta with
+  | None -> Not_subsumed
+  | Some theta0 -> (
+      let gens, checks =
+        List.partition
+          (function
+            | Literal.Rel _ | Literal.Repair _ | Literal.Sim _ -> true
+            | Literal.Eq _ | Literal.Neq _ -> false)
+          c.body
+      in
+      let rec search remaining theta image =
+        match remaining with
+        | [] ->
+            if not (resolve_checks target theta checks) then None
+            else if
+              repair_connectivity
+              && not (check_repair_connectivity target image)
+            then None
+            else Some theta
+        | l :: rest ->
+            let rec try_candidates = function
+              | [] -> None
+              | (theta', id_opt) :: more -> (
+                  let image' =
+                    match id_opt with
+                    | Some id -> IntSet.add id image
+                    | None -> image
+                  in
+                  match search rest theta' image' with
+                  | Some _ as ok -> ok
+                  | None -> try_candidates more)
+            in
+            try_candidates (candidates target budget theta l)
+      in
+      try
+        match search gens theta0 IntSet.empty with
+        | Some theta -> Subsumed theta
+        | None -> Not_subsumed
+      with Exhausted -> Budget_exhausted)
+
+let report_exhausted c =
+  Log.warn (fun m ->
+      m "subsumption budget exhausted for %s-clause" (Clause.head_pred c))
+
+let subsumes_target_bool ?budget ?repair_connectivity c t =
+  match subsumes_target ?budget ?repair_connectivity c t with
+  | Subsumed _ -> true
+  | Not_subsumed -> false
+  | Budget_exhausted ->
+      report_exhausted c;
+      false
+
+let subsumes_bool ?budget ?repair_connectivity c d =
+  match subsumes ?budget ?repair_connectivity c d with
+  | Subsumed _ -> true
+  | Not_subsumed -> false
+  | Budget_exhausted ->
+      report_exhausted c;
+      false
+
+let equivalent ?budget c d =
+  subsumes_bool ?budget c d && subsumes_bool ?budget d c
+
+module Armg = struct
+  let head_unify target head =
+    match head, target.d_literals.(0) with
+    | Literal.Rel { pred = p1; args = a1 }, Literal.Rel { pred = p2; args = a2 }
+      when String.equal p1 p2 ->
+        unify_args target.env Substitution.empty a1 a2
+    | _ -> None
+
+  let extend target theta = function
+    | (Literal.Rel _ | Literal.Repair _ | Literal.Sim _) as l ->
+        let budget = ref max_int in
+        List.map fst (candidates target budget theta l)
+    | Literal.Eq _ | Literal.Neq _ ->
+        invalid_arg "Subsumption.Armg.extend: restriction literal"
+
+  let check target theta = function
+    | Literal.Eq (x, y) -> (
+        match
+          (Substitution.apply_term theta x, Substitution.apply_term theta y)
+        with
+        | (Term.Var _, _ | _, Term.Var _) -> `Unknown
+        | tx, ty -> if Clause_env.eq target.env tx ty then `Sat else `Unsat)
+    | Literal.Neq (x, y) -> (
+        match
+          (Substitution.apply_term theta x, Substitution.apply_term theta y)
+        with
+        | (Term.Var _, _ | _, Term.Var _) -> `Unknown
+        | tx, ty -> if Clause_env.neq target.env tx ty then `Sat else `Unsat)
+    | Literal.Rel _ | Literal.Sim _ | Literal.Repair _ ->
+        invalid_arg "Subsumption.Armg.check: generative literal"
+end

@@ -1,0 +1,84 @@
+(** θ-subsumption for clauses with repair literals (Definition 4.4).
+
+    [C ⊆θ D] iff some substitution θ (over C's variables, into D's terms)
+    maps every literal of C onto a literal of D — repair literals treated
+    as ordinary atoms matched by constraint origin — and, additionally,
+    every repair literal of D connected to a mapped literal of D is itself
+    in the image of θ (soundness condition of Theorem 4.6).
+
+    Equality, inequality and similarity literals of C are checked against
+    D's restriction-literal closure rather than matched syntactically:
+    [Eq (u, v)] holds when θu and θv are connected by D's equality
+    literals, [Sim] when some similarity literal of D links their classes,
+    [Neq] when their classes differ. This mirrors the "additional testings"
+    for clauses with equality and similarity the paper references (§4.2).
+
+    The search is backtracking with dynamic most-constrained-literal
+    selection and a step budget for pathological inputs. *)
+
+type outcome =
+  | Subsumed of Substitution.t
+  | Not_subsumed
+  | Budget_exhausted
+
+(** A target clause D preprocessed for matching: literal indexes by
+    predicate and origin, the restriction-literal closure, and the repair
+    connectivity sets of Definition 4.4. Preparing once and matching many
+    clauses against it is the dominant cost saving of coverage testing. *)
+type target
+
+val prepare : Clause.t -> target
+
+(** [subsumes_target ?budget ?repair_connectivity c t] decides [c ⊆θ D]
+    against a prepared target. *)
+val subsumes_target :
+  ?budget:int -> ?repair_connectivity:bool -> Clause.t -> target -> outcome
+
+val subsumes_target_bool :
+  ?budget:int -> ?repair_connectivity:bool -> Clause.t -> target -> bool
+
+(** [subsumes ?budget ?repair_connectivity c d] decides [c ⊆θ d].
+    [budget] (default 200_000) bounds unification attempts.
+    [repair_connectivity] (default [true]) enables Definition 4.4's second
+    condition; the repair-application machinery disables it when comparing
+    fully repaired (repair-free) clauses, where it is vacuous anyway. *)
+val subsumes :
+  ?budget:int -> ?repair_connectivity:bool -> Clause.t -> Clause.t -> outcome
+
+(** [subsumes_bool c d] is [subsumes c d = Subsumed _]; budget exhaustion
+    counts as failure and is logged at warning level. *)
+val subsumes_bool :
+  ?budget:int -> ?repair_connectivity:bool -> Clause.t -> Clause.t -> bool
+
+(** [equivalent c d] holds when each clause θ-subsumes the other —
+    the equivalence used by Proposition 4.8. *)
+val equivalent : ?budget:int -> Clause.t -> Clause.t -> bool
+
+(** [subsumes_naive c d] is a reference implementation: plain chronological
+    backtracking over the body literals in order, no component
+    decomposition, no dynamic literal selection. It decides the same
+    relation as {!subsumes} (property-tested) but degrades badly on large
+    clauses — kept as the correctness oracle and as the baseline of the
+    search-strategy ablation. *)
+val subsumes_naive :
+  ?budget:int -> ?repair_connectivity:bool -> Clause.t -> Clause.t -> outcome
+
+(** Incremental matching primitives for the generalisation step (§4.2):
+    ProGolem-style ARMG walks a clause literal by literal, maintaining a
+    set of candidate substitutions into the ground bottom clause; a literal
+    with no extension is blocking. *)
+module Armg : sig
+  (** [head_unify t head] unifies a clause head with the target's head. *)
+  val head_unify : target -> Literal.t -> Substitution.t option
+
+  (** [extend t theta l] enumerates the extensions of [theta] mapping the
+      generative literal [l] (schema, repair or similarity atom) into the
+      target.
+      @raise Invalid_argument on equality/inequality literals. *)
+  val extend : target -> Substitution.t -> Literal.t -> Substitution.t list
+
+  (** [check t theta l] evaluates a restriction literal under [theta]:
+      [`Unknown] when a side is still unbound. *)
+  val check :
+    target -> Substitution.t -> Literal.t -> [ `Sat | `Unsat | `Unknown ]
+end

@@ -1,0 +1,49 @@
+open Dlearn_relation
+
+type t =
+  | Var of string
+  | Const of Value.t
+
+let var v = Var v
+let const c = Const c
+let str s = Const (Value.String s)
+let is_var = function Var _ -> true | Const _ -> false
+let is_const = function Const _ -> true | Var _ -> false
+
+let equal a b =
+  match a, b with
+  | Var x, Var y -> String.equal x y
+  | Const x, Const y -> Value.equal x y
+  | (Var _ | Const _), _ -> false
+
+let compare a b =
+  match a, b with
+  | Var x, Var y -> String.compare x y
+  | Const x, Const y -> Value.compare x y
+  | Var _, Const _ -> -1
+  | Const _, Var _ -> 1
+
+let hash = function
+  | Var x -> Hashtbl.hash (0, x)
+  | Const c -> Hashtbl.hash (1, Value.hash c)
+
+let to_string = function
+  | Var x -> x
+  | Const (Value.String s) -> Printf.sprintf "%S" s
+  | Const c -> Value.to_string c
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+module Fresh = struct
+  type gen = {
+    prefix : string;
+    mutable counter : int;
+  }
+
+  let make prefix = { prefix; counter = 0 }
+
+  let next g =
+    let v = Var (Printf.sprintf "%s%d" g.prefix g.counter) in
+    g.counter <- g.counter + 1;
+    v
+end

@@ -1,0 +1,41 @@
+(** Terms: variables or constants (§2.1).
+
+    Variables are identified by name. Bottom-clause construction assigns
+    names of the form ["v0"], ["v1"], ... to database constants, and
+    ["r0"], ["r1"], ... to the fresh replacement variables introduced by
+    repair literals; nothing in this module depends on that convention. *)
+
+type t =
+  | Var of string
+  | Const of Dlearn_relation.Value.t
+
+val var : string -> t
+
+val const : Dlearn_relation.Value.t -> t
+
+val str : string -> t
+(** [str s] is [Const (String s)]. *)
+
+val is_var : t -> bool
+
+val is_const : t -> bool
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+(** A generator of fresh variable names with a given prefix, threading a
+    counter. [Fresh.make "r"] yields ["r0"], ["r1"], ... *)
+module Fresh : sig
+  type gen
+
+  val make : string -> gen
+
+  val next : gen -> t
+end

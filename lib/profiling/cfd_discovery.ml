@@ -1,0 +1,49 @@
+open Dlearn_relation
+open Dlearn_constraints
+
+type candidate = {
+  lhs : string list;
+  rhs : string;
+  condition_attr : string;
+}
+
+let discover ?(min_support = 3) relation candidate =
+  if not (List.mem candidate.condition_attr candidate.lhs) then
+    invalid_arg "Cfd_discovery.discover: condition_attr not in lhs";
+  let relation_name = Relation.name relation in
+  if Fd_discovery.holds relation candidate.lhs candidate.rhs then
+    [
+      Cfd.fd
+        ~id:(Printf.sprintf "%s:%s->%s" relation_name
+               (String.concat "," candidate.lhs) candidate.rhs)
+        ~relation:relation_name candidate.lhs candidate.rhs;
+    ]
+  else begin
+    let schema = Relation.schema relation in
+    let cond_pos = Schema.position schema candidate.condition_attr in
+    let constants = Relation.distinct_values relation cond_pos in
+    List.filter_map
+      (fun c ->
+        let selection =
+          Relation.filter (fun t -> Value.equal (Tuple.get t cond_pos) c) relation
+        in
+        if
+          Relation.cardinality selection >= min_support
+          && Fd_discovery.holds selection candidate.lhs candidate.rhs
+        then
+          Some
+            (Cfd.make
+               ~id:(Printf.sprintf "%s:%s=%s" relation_name
+                      candidate.condition_attr (Value.to_string c))
+               ~relation:relation_name
+               ~lhs:
+                 (List.map
+                    (fun a ->
+                      if String.equal a candidate.condition_attr then
+                        (a, Cfd.Const c)
+                      else (a, Cfd.Wildcard))
+                    candidate.lhs)
+               ~rhs:(candidate.rhs, Cfd.Wildcard))
+        else None)
+      constants
+  end

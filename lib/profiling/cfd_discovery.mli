@@ -1,0 +1,25 @@
+(** Conditional-FD discovery: mining constant patterns under which an FD
+    that fails globally holds conditionally (in the spirit of CTANE /
+    Golab et al.'s tableau generation, which the paper cites as [30]).
+
+    For a candidate [X → A] that does not hold on the whole relation, the
+    miner scans the values of one chosen conditioning attribute of [X] and
+    emits a CFD [(X → A, (c, -, .. || -))] for every constant [c] whose
+    selection satisfies the FD with at least [min_support] tuples. *)
+
+type candidate = {
+  lhs : string list;
+  rhs : string;
+  condition_attr : string;  (** must be a member of [lhs] *)
+}
+
+(** [discover ?min_support relation candidate] returns the CFDs (with ids
+    derived from the constant) mined for the candidate; empty when the
+    conditioning attribute has no qualifying constant. When the FD holds
+    globally, the single pattern-free CFD is returned instead.
+    @raise Invalid_argument if [condition_attr] is not in [lhs]. *)
+val discover :
+  ?min_support:int ->
+  Dlearn_relation.Relation.t ->
+  candidate ->
+  Dlearn_constraints.Cfd.t list

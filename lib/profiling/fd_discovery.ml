@@ -1,0 +1,70 @@
+open Dlearn_relation
+
+type fd = {
+  lhs : string list;
+  rhs : string;
+}
+
+let group_key tuple positions =
+  String.concat "\x00"
+    (List.map (fun p -> Value.to_string (Tuple.get tuple p)) positions)
+
+let holds relation lhs rhs =
+  let schema = Relation.schema relation in
+  let lhs_pos = List.map (Schema.position schema) lhs in
+  let rhs_pos = Schema.position schema rhs in
+  let witness : (string, Value.t) Hashtbl.t = Hashtbl.create 64 in
+  let ok = ref true in
+  Relation.iter
+    (fun _ tuple ->
+      if !ok then begin
+        let key = group_key tuple lhs_pos in
+        let v = Tuple.get tuple rhs_pos in
+        match Hashtbl.find_opt witness key with
+        | Some v' -> if not (Value.equal v v') then ok := false
+        | None -> Hashtbl.add witness key v
+      end)
+    relation;
+  !ok
+
+(* Subsets of [attrs] of exactly size [k], in lexicographic order. *)
+let rec subsets k attrs =
+  if k = 0 then [ [] ]
+  else
+    match attrs with
+    | [] -> []
+    | a :: rest ->
+        List.map (fun s -> a :: s) (subsets (k - 1) rest) @ subsets k rest
+
+let discover ?(max_lhs = 2) relation =
+  let schema = Relation.schema relation in
+  let attrs =
+    Array.to_list (Schema.attributes schema)
+    |> List.map (fun (a : Schema.attribute) -> a.attr_name)
+  in
+  let found = ref [] in
+  let determined_by_subset lhs rhs =
+    List.exists
+      (fun f ->
+        String.equal f.rhs rhs
+        && List.for_all (fun a -> List.mem a lhs) f.lhs
+        && List.length f.lhs < List.length lhs)
+      !found
+  in
+  for size = 1 to max_lhs do
+    List.iter
+      (fun lhs ->
+        List.iter
+          (fun rhs ->
+            if
+              (not (List.mem rhs lhs))
+              && (not (determined_by_subset lhs rhs))
+              && holds relation lhs rhs
+            then found := { lhs; rhs } :: !found)
+          attrs)
+      (subsets size attrs)
+  done;
+  List.rev !found
+
+let to_cfd ~id relation_name fd =
+  Dlearn_constraints.Cfd.fd ~id ~relation:relation_name fd.lhs fd.rhs

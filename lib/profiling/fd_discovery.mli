@@ -1,0 +1,25 @@
+(** Functional-dependency discovery (TANE-style levelwise search).
+
+    The paper assumes constraints "may be provided by users or discovered
+    from the data using profiling techniques" (§2.2, [1]); this module is
+    that profiling step for plain FDs: it finds the minimal FDs [X → A]
+    with [|X| ≤ max_lhs] that hold exactly in a relation instance,
+    checking candidates through partition refinement. *)
+
+type fd = {
+  lhs : string list;  (** attribute names, sorted *)
+  rhs : string;
+}
+
+(** [discover ?max_lhs relation] lists the minimal FDs holding in
+    [relation] ([max_lhs] defaults to 2). Trivial FDs (rhs ∈ lhs) are
+    excluded; an FD is reported only if no subset of its lhs already
+    determines the rhs. A relation with fewer than 2 tuples satisfies
+    every FD and yields the single-attribute keys only. *)
+val discover : ?max_lhs:int -> Dlearn_relation.Relation.t -> fd list
+
+(** [holds relation lhs rhs] checks one FD by grouping. *)
+val holds : Dlearn_relation.Relation.t -> string list -> string -> bool
+
+(** [to_cfd ~id relation_name fd] converts to a pattern-free CFD. *)
+val to_cfd : id:string -> string -> fd -> Dlearn_constraints.Cfd.t

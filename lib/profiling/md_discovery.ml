@@ -1,0 +1,76 @@
+open Dlearn_relation
+
+type stats = {
+  left_values : int;
+  matched : int;
+  ambiguous : int;
+  coverage : float;
+  ambiguity : float;
+}
+
+let attribute_stats ?measure ?(margin = 0.1) ~threshold left lpos right rpos =
+  let index =
+    Dlearn_similarity.Sim_index.of_values ?measure
+      (Relation.distinct_values right rpos)
+  in
+  let lefts =
+    List.filter
+      (fun v -> not (Value.is_null v))
+      (Relation.distinct_values left lpos)
+  in
+  let matched = ref 0 and ambiguous = ref 0 in
+  List.iter
+    (fun v ->
+      match
+        Dlearn_similarity.Sim_index.query index ~km:2 ~threshold
+          (Value.as_string v)
+      with
+      | [] -> ()
+      | [ _ ] -> incr matched
+      | (_, s1) :: (_, s2) :: _ ->
+          incr matched;
+          (* A match is ambiguous when the runner-up is nearly as good:
+             the similarity cannot tell the candidates apart. *)
+          if s1 -. s2 < margin then incr ambiguous)
+    lefts;
+  let left_values = List.length lefts in
+  {
+    left_values;
+    matched = !matched;
+    ambiguous = !ambiguous;
+    coverage =
+      (if left_values = 0 then 0.0
+       else float_of_int !matched /. float_of_int left_values);
+    ambiguity =
+      (if !matched = 0 then 0.0
+       else float_of_int !ambiguous /. float_of_int !matched);
+  }
+
+let discover ?measure ?(threshold = 0.7) ?(min_coverage = 0.5)
+    ?(max_ambiguity = 0.5) ?margin db left_name right_name =
+  let left = Database.find db left_name in
+  let right = Database.find db right_name in
+  let ls = Relation.schema left and rs = Relation.schema right in
+  let pairs = ref [] in
+  for lpos = 0 to Schema.arity ls - 1 do
+    for rpos = 0 to Schema.arity rs - 1 do
+      if Schema.comparable ls lpos rs rpos then begin
+        let stats =
+          attribute_stats ?measure ?margin ~threshold left lpos right rpos
+        in
+        if stats.coverage >= min_coverage && stats.ambiguity <= max_ambiguity
+        then begin
+          let la = Schema.attr_name ls lpos and ra = Schema.attr_name rs rpos in
+          let md =
+            Dlearn_constraints.Md.make
+              ~id:(Printf.sprintf "md:%s.%s~%s.%s" left_name la right_name ra)
+              ~left:left_name ~right:right_name
+              ~compared:[ (la, ra) ]
+              ~unified:(la, ra) ()
+          in
+          pairs := (md, stats) :: !pairs
+        end
+      end
+    done
+  done;
+  List.rev !pairs

@@ -1,0 +1,42 @@
+(** Matching-dependency discovery from similarity statistics, after
+    MDedup's observation (the paper's [38]) that good MDs connect attribute
+    pairs whose values match selectively: many values find a match, and
+    mostly a unique one. *)
+
+type stats = {
+  left_values : int;  (** distinct non-null values on the left *)
+  matched : int;  (** left values with at least one match ≥ threshold *)
+  ambiguous : int;
+      (** matched left values whose runner-up match scores within [margin]
+          of the best — the similarity cannot tell the candidates apart *)
+  coverage : float;  (** matched / left_values *)
+  ambiguity : float;  (** ambiguous / matched (0 when nothing matches) *)
+}
+
+(** [attribute_stats ?measure ?margin ~threshold left lpos right rpos]
+    computes the matching statistics of one attribute pair ([margin]
+    defaults to 0.1). *)
+val attribute_stats :
+  ?measure:Dlearn_similarity.Combined.measure ->
+  ?margin:float ->
+  threshold:float ->
+  Dlearn_relation.Relation.t ->
+  int ->
+  Dlearn_relation.Relation.t ->
+  int ->
+  stats
+
+(** [discover ?measure ?threshold ?min_coverage ?max_ambiguity db left right]
+    proposes MDs between every comparable attribute pair of the two
+    relations whose statistics pass the thresholds (defaults: coverage ≥
+    0.5, ambiguity ≤ 0.5, similarity threshold 0.7). *)
+val discover :
+  ?measure:Dlearn_similarity.Combined.measure ->
+  ?threshold:float ->
+  ?min_coverage:float ->
+  ?max_ambiguity:float ->
+  ?margin:float ->
+  Dlearn_relation.Database.t ->
+  string ->
+  string ->
+  (Dlearn_constraints.Md.t * stats) list

@@ -1,0 +1,64 @@
+open Dlearn_relation
+
+type func =
+  | Count
+  | Count_distinct of int
+  | Min of int
+  | Max of int
+
+let check_position answers pos =
+  match answers with
+  | [] -> ()
+  | t :: _ ->
+      if pos < 0 || pos >= Tuple.arity t then
+        invalid_arg (Printf.sprintf "Aggregate: position %d out of range" pos)
+
+let run ?limit db oracle clause ~group_by ~aggregate =
+  let answers = Conjunctive.answers ?limit db oracle clause in
+  List.iter (check_position answers) group_by;
+  (match aggregate with
+  | Count -> ()
+  | Count_distinct p | Min p | Max p -> check_position answers p);
+  let groups : (string, Value.t list * Tuple.t list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let order = ref [] in
+  List.iter
+    (fun t ->
+      let key_values = List.map (Tuple.get t) group_by in
+      let key = String.concat "\x00" (List.map Value.to_string key_values) in
+      match Hashtbl.find_opt groups key with
+      | Some (_, members) -> members := t :: !members
+      | None ->
+          Hashtbl.add groups key (key_values, ref [ t ]);
+          order := key :: !order)
+    answers;
+  List.rev_map
+    (fun key ->
+      let key_values, members = Hashtbl.find groups key in
+      let members = !members in
+      let agg =
+        match aggregate with
+        | Count -> Value.Int (List.length members)
+        | Count_distinct p ->
+            Value.Int
+              (List.length
+                 (List.sort_uniq Value.compare
+                    (List.map (fun t -> Tuple.get t p) members)))
+        | Min p ->
+            List.fold_left
+              (fun acc t ->
+                let v = Tuple.get t p in
+                if Value.compare v acc < 0 then v else acc)
+              (Tuple.get (List.hd members) p)
+              members
+        | Max p ->
+            List.fold_left
+              (fun acc t ->
+                let v = Tuple.get t p in
+                if Value.compare v acc > 0 then v else acc)
+              (Tuple.get (List.hd members) p)
+              members
+      in
+      Tuple.make (key_values @ [ agg ]))
+    !order

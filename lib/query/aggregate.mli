@@ -1,0 +1,27 @@
+(** Aggregation over query answers: group the answer tuples of a
+    conjunctive query by a subset of head positions and fold the rest.
+
+    This rounds out the query substrate for downstream use (inspecting
+    generated workloads, summarising predictions); the learner itself
+    never aggregates. *)
+
+type func =
+  | Count
+  | Count_distinct of int  (** position aggregated *)
+  | Min of int
+  | Max of int
+
+(** [run ?limit db oracle clause ~group_by ~aggregate] evaluates the
+    clause, groups answers by the [group_by] head positions (in order) and
+    applies [aggregate] within each group. Returns one tuple per group:
+    the group key values followed by the aggregate value. Groups appear in
+    first-seen order.
+    @raise Invalid_argument on an out-of-range position. *)
+val run :
+  ?limit:int ->
+  Dlearn_relation.Database.t ->
+  Conjunctive.oracle ->
+  Dlearn_logic.Clause.t ->
+  group_by:int list ->
+  aggregate:func ->
+  Dlearn_relation.Tuple.t list

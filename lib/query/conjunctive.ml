@@ -1,0 +1,240 @@
+open Dlearn_relation
+open Dlearn_logic
+
+type oracle = {
+  similar : Value.t -> Value.t -> bool;
+}
+
+let oracle_of_spec spec =
+  { similar = (fun a b -> Dlearn_constraints.Md.similar spec a b) }
+
+(* A binding environment: variable name -> value. *)
+module Env = Map.Make (String)
+
+let term_value env = function
+  | Term.Const v -> Some v
+  | Term.Var x -> Env.find_opt x env
+
+let bind env x v =
+  match Env.find_opt x env with
+  | Some v' -> if Value.equal v v' then Some env else None
+  | None -> Some (Env.add x v env)
+
+let unify_tuple env args tuple =
+  let n = Array.length args in
+  let rec go env i =
+    if i >= n then Some env
+    else
+      match args.(i) with
+      | Term.Const v ->
+          if Value.equal v (Tuple.get tuple i) then go env (i + 1) else None
+      | Term.Var x -> (
+          match bind env x (Tuple.get tuple i) with
+          | Some env' -> go env' (i + 1)
+          | None -> None)
+  in
+  go env 0
+
+(* Check a restriction literal; [`Unknown] when a side is unbound. *)
+let check_restriction oracle env = function
+  | Literal.Sim (a, b) -> (
+      match term_value env a, term_value env b with
+      | Some va, Some vb ->
+          if Value.equal va vb || oracle.similar va vb then `Sat else `Unsat
+      | _ -> `Unknown)
+  | Literal.Eq (a, b) -> (
+      match term_value env a, term_value env b with
+      | Some va, Some vb -> if Value.equal va vb then `Sat else `Unsat
+      | _ -> `Unknown)
+  | Literal.Neq (a, b) -> (
+      match term_value env a, term_value env b with
+      | Some va, Some vb -> if Value.equal va vb then `Unsat else `Sat
+      | _ -> `Unknown)
+  | Literal.Rel _ | Literal.Repair _ -> `Unknown
+
+(* One-sided Eq propagation: Eq(x, t) with one side bound binds the other. *)
+let propagate_eq env = function
+  | Literal.Eq (Term.Var x, t) when Env.mem x env = false -> (
+      match term_value env t with
+      | Some v -> bind env x v
+      | None -> Some env)
+  | Literal.Eq (t, Term.Var x) when Env.mem x env = false -> (
+      match term_value env t with
+      | Some v -> bind env x v
+      | None -> Some env)
+  | _ -> Some env
+
+let bound_positions env args =
+  let bound = ref [] in
+  Array.iteri
+    (fun i t ->
+      match term_value env t with
+      | Some v -> bound := (i, v) :: !bound
+      | None -> ())
+    args;
+  !bound
+
+(* Enumerate candidate tuples for one atom under the environment: use the
+   most selective bound position's index, or scan the relation when
+   nothing is bound. *)
+let atom_candidates db env pred args =
+  let relation =
+    match Database.find_opt db pred with
+    | Some r -> r
+    | None -> invalid_arg (Printf.sprintf "Conjunctive: unknown relation %s" pred)
+  in
+  if Array.length args <> Schema.arity (Relation.schema relation) then
+    invalid_arg (Printf.sprintf "Conjunctive: arity mismatch on %s" pred);
+  match bound_positions env args with
+  | [] -> Relation.fold (fun _ t acc -> t :: acc) relation []
+  | bound ->
+      let best_pos, best_v, _ =
+        List.fold_left
+          (fun (bp, bv, bn) (pos, v) ->
+            let n = List.length (Relation.select_eq relation pos v) in
+            if n < bn then (pos, v, n) else (bp, bv, bn))
+          (-1, Value.Null, max_int) bound
+      in
+      Relation.select_eq relation best_pos best_v
+      |> List.map (Relation.get relation)
+
+let solve ?(node_budget = 1_000_000) db oracle body env0 on_solution =
+  let budget = ref node_budget in
+  let rec go remaining env =
+    if !budget <= 0 then ()
+    else begin
+      decr budget;
+      (* Propagate one-sided equalities, then evaluate decided
+         restrictions and drop them. *)
+      let env_opt =
+        List.fold_left
+          (fun acc l ->
+            match acc with
+            | None -> None
+            | Some env -> propagate_eq env l)
+          (Some env) remaining
+      in
+      match env_opt with
+      | None -> ()
+      | Some env -> (
+          let verdict = ref `Continue in
+          let remaining =
+            List.filter
+              (fun l ->
+                match l with
+                | Literal.Rel _ -> true
+                | _ -> (
+                    match check_restriction oracle env l with
+                    | `Sat -> false
+                    | `Unsat ->
+                        verdict := `Fail;
+                        false
+                    | `Unknown -> true))
+              remaining
+          in
+          match !verdict with
+          | `Fail -> ()
+          | `Continue -> (
+              let atoms =
+                List.filter (function Literal.Rel _ -> true | _ -> false)
+                  remaining
+              in
+              match atoms with
+              | [] ->
+                  (* Only undecided restrictions are left: a similarity or
+                     inequality over a variable no atom binds. Such clauses
+                     are not range-restricted; reject the branch. *)
+                  if remaining = [] then on_solution env
+              | _ ->
+                  (* Most-bound atom first. *)
+                  let score = function
+                    | Literal.Rel { args; _ } ->
+                        -List.length (bound_positions env args)
+                    | _ -> max_int
+                  in
+                  let next =
+                    List.fold_left
+                      (fun best l ->
+                        if score l < score best then l else best)
+                      (List.hd atoms) (List.tl atoms)
+                  in
+                  let rest = List.filter (fun l -> not (l == next)) remaining in
+                  (match next with
+                  | Literal.Rel { pred; args } ->
+                      List.iter
+                        (fun tuple ->
+                          match unify_tuple env args tuple with
+                          | Some env' -> go rest env'
+                          | None -> ())
+                        (atom_candidates db env pred args)
+                  | _ -> assert false)))
+    end
+  in
+  go body env0
+
+let reject_repairs (clause : Clause.t) =
+  if Clause.repair_body clause <> [] then
+    invalid_arg "Conjunctive: repair literals are not evaluable; repair the clause first"
+
+exception Enough
+
+let answers ?(limit = 1000) db oracle (clause : Clause.t) =
+  reject_repairs clause;
+  let head_args =
+    match clause.Clause.head with
+    | Literal.Rel { args; _ } -> args
+    | _ -> assert false
+  in
+  let seen = Hashtbl.create 64 in
+  let results = ref [] in
+  let count = ref 0 in
+  (try
+     solve db oracle clause.Clause.body Env.empty (fun env ->
+         let answer =
+           Array.map
+             (fun t ->
+               match term_value env t with Some v -> v | None -> Value.Null)
+             head_args
+         in
+         let key = Tuple.to_string answer in
+         if not (Hashtbl.mem seen key) then begin
+           Hashtbl.add seen key ();
+           incr count;
+           results := answer :: !results;
+           if !count >= limit then raise Enough
+         end)
+   with Enough -> ());
+  List.rev !results
+
+let entails db oracle (clause : Clause.t) example =
+  reject_repairs clause;
+  let head_args =
+    match clause.Clause.head with
+    | Literal.Rel { args; _ } -> args
+    | _ -> assert false
+  in
+  if Array.length head_args <> Tuple.arity example then false
+  else begin
+    let env0 =
+      let rec go env i =
+        if i >= Array.length head_args then Some env
+        else
+          match head_args.(i) with
+          | Term.Const v ->
+              if Value.equal v (Tuple.get example i) then go env (i + 1)
+              else None
+          | Term.Var x -> (
+              match bind env x (Tuple.get example i) with
+              | Some env' -> go env' (i + 1)
+              | None -> None)
+      in
+      go Env.empty 0
+    in
+    match env0 with
+    | None -> false
+    | Some env0 -> (
+        try
+          solve db oracle clause.Clause.body env0 (fun _ -> raise Enough);
+          false
+        with Enough -> true)
+  end

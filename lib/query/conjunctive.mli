@@ -1,0 +1,42 @@
+(** Direct evaluation of conjunctive queries over a database.
+
+    This is the coverage-testing approach the paper contrasts with
+    θ-subsumption (§4.3): translate the clause into a query and evaluate
+    it over the stored relations. The body may contain schema atoms,
+    similarity literals (answered by the given similarity operator),
+    equality and inequality literals; repair literals are rejected —
+    repairs are the subsumption engine's job.
+
+    Evaluation is by backtracking joins over the per-attribute hash
+    indexes: at each step the most-bound schema atom is selected, its
+    candidates enumerated through the most selective bound position, and
+    restriction literals are checked as soon as both sides are bound. *)
+
+type oracle = {
+  similar : Dlearn_relation.Value.t -> Dlearn_relation.Value.t -> bool;
+}
+
+(** [oracle_of_spec spec] answers similarity with {!Dlearn_constraints.Md.similar}. *)
+val oracle_of_spec : Dlearn_constraints.Md.sim_spec -> oracle
+
+(** [answers ?limit db oracle clause] enumerates the distinct head-variable
+    bindings (as tuples, in head-argument order) for which the body is
+    satisfiable; at most [limit] (default 1000) answers.
+    @raise Invalid_argument if the clause contains repair literals, or if
+    a body atom's relation is unknown or has the wrong arity. *)
+val answers :
+  ?limit:int ->
+  Dlearn_relation.Database.t ->
+  oracle ->
+  Dlearn_logic.Clause.t ->
+  Dlearn_relation.Tuple.t list
+
+(** [entails db oracle clause example] — does the clause derive the example
+    tuple? Head arguments are bound to the example's values and the body
+    is tested for satisfiability. *)
+val entails :
+  Dlearn_relation.Database.t ->
+  oracle ->
+  Dlearn_logic.Clause.t ->
+  Dlearn_relation.Tuple.t ->
+  bool

@@ -1,0 +1,74 @@
+open Dlearn_relation
+open Dlearn_logic
+
+let quote_value = function
+  | Value.String s ->
+      Printf.sprintf "'%s'" (String.concat "''" (String.split_on_char '\'' s))
+  | v -> Value.to_string v
+
+let of_clause (clause : Clause.t) =
+  if Clause.repair_body clause <> [] then
+    invalid_arg "Sql.of_clause: repair literals have no SQL rendering";
+  (* One alias per schema atom; the first column reference of each
+     variable is canonical, later ones become join equalities. *)
+  let aliases = ref [] in
+  let var_columns : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  let conditions = ref [] in
+  let add_condition c = conditions := c :: !conditions in
+  List.iteri
+    (fun i l ->
+      match l with
+      | Literal.Rel { pred; args } ->
+          let alias = Printf.sprintf "t%d" i in
+          aliases := Printf.sprintf "%s AS %s" pred alias :: !aliases;
+          Array.iteri
+            (fun pos term ->
+              let column = Printf.sprintf "%s.c%d" alias pos in
+              match term with
+              | Term.Const v ->
+                  add_condition
+                    (Printf.sprintf "%s = %s" column (quote_value v))
+              | Term.Var x -> (
+                  match Hashtbl.find_opt var_columns x with
+                  | Some canonical ->
+                      add_condition (Printf.sprintf "%s = %s" canonical column)
+                  | None -> Hashtbl.add var_columns x column))
+            args
+      | _ -> ())
+    clause.Clause.body;
+  let column_of term =
+    match term with
+    | Term.Const v -> quote_value v
+    | Term.Var x -> (
+        match Hashtbl.find_opt var_columns x with
+        | Some c -> c
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Sql.of_clause: variable %s bound by no atom" x))
+  in
+  List.iter
+    (fun l ->
+      match l with
+      | Literal.Sim (a, b) ->
+          add_condition
+            (Printf.sprintf "SIMILAR(%s, %s)" (column_of a) (column_of b))
+      | Literal.Eq (a, b) ->
+          add_condition (Printf.sprintf "%s = %s" (column_of a) (column_of b))
+      | Literal.Neq (a, b) ->
+          add_condition (Printf.sprintf "%s <> %s" (column_of a) (column_of b))
+      | Literal.Rel _ | Literal.Repair _ -> ())
+    clause.Clause.body;
+  let select =
+    match clause.Clause.head with
+    | Literal.Rel { args; _ } ->
+        Array.to_list args |> List.map column_of |> String.concat ", "
+    | _ -> assert false
+  in
+  let where =
+    match List.rev !conditions with
+    | [] -> ""
+    | cs -> "\nWHERE " ^ String.concat "\n  AND " cs
+  in
+  Printf.sprintf "SELECT DISTINCT %s\nFROM %s%s" select
+    (String.concat ", " (List.rev !aliases))
+    where

@@ -1,0 +1,16 @@
+(** Rendering clauses as SQL (§4.3: "transform the clause into a SQL query
+    and evaluate it over the input database ... the SQL query will involve
+    long joins").
+
+    The translation targets a generic SQL dialect: one FROM entry per
+    schema atom, WHERE equalities for shared variables and constants,
+    [SIMILAR(a, b)] for similarity literals (a UDF the host system must
+    provide — the paper registers its operator with VoltDB), and the head
+    arguments as the SELECT list. It exists to document and exercise the
+    size of the queries the subsumption engine avoids; nothing in the
+    learner executes SQL. *)
+
+(** [of_clause c] renders a repair-free clause.
+    @raise Invalid_argument when [c] contains repair literals or a body
+    atom repeats no variable usable for the SELECT list. *)
+val of_clause : Dlearn_logic.Clause.t -> string

@@ -1,0 +1,92 @@
+let parse_line ?(delim = ',') s =
+  let n = String.length s in
+  let fields = ref [] in
+  let buf = Buffer.create 32 in
+  let flush_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  (* States: outside quotes / inside quotes. *)
+  let rec outside i =
+    if i >= n then flush_field ()
+    else if s.[i] = delim then begin
+      flush_field ();
+      outside (i + 1)
+    end
+    else if s.[i] = '"' && Buffer.length buf = 0 then inside (i + 1)
+    else begin
+      Buffer.add_char buf s.[i];
+      outside (i + 1)
+    end
+  and inside i =
+    if i >= n then flush_field () (* unterminated quote: accept *)
+    else if s.[i] = '"' then
+      if i + 1 < n && s.[i + 1] = '"' then begin
+        Buffer.add_char buf '"';
+        inside (i + 2)
+      end
+      else outside (i + 1)
+    else begin
+      Buffer.add_char buf s.[i];
+      inside (i + 1)
+    end
+  in
+  outside 0;
+  List.rev !fields
+
+let needs_quoting delim field =
+  String.exists (fun c -> c = delim || c = '"' || c = '\n' || c = '\r') field
+
+let render_field delim field =
+  if needs_quoting delim field then begin
+    let buf = Buffer.create (String.length field + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\""
+        else Buffer.add_char buf c)
+      field;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else field
+
+let render_line ?(delim = ',') fields =
+  String.concat (String.make 1 delim) (List.map (render_field delim) fields)
+
+let load ?(delim = ',') schema path =
+  let rel = Relation.create schema in
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let line_no = ref 0 in
+      try
+        while true do
+          let line = input_line ic in
+          incr line_no;
+          if String.length line > 0 then begin
+            let fields = parse_line ~delim line in
+            if List.length fields <> Schema.arity schema then
+              invalid_arg
+                (Printf.sprintf "Csv.load: %s line %d: %d fields, expected %d"
+                   path !line_no (List.length fields) (Schema.arity schema));
+            ignore (Relation.insert rel (Tuple.of_strings fields))
+          end
+        done;
+        assert false
+      with End_of_file -> rel)
+
+let save ?(delim = ',') relation path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Relation.iter
+        (fun _ tu ->
+          let fields =
+            Array.to_list (Array.map Value.to_string tu)
+          in
+          output_string oc (render_line ~delim fields);
+          output_char oc '\n')
+        relation)

@@ -1,0 +1,24 @@
+(** Minimal delimited-text import/export for relations.
+
+    Uses a configurable single-character delimiter (default [','].) Fields
+    containing the delimiter, double quotes or newlines are quoted with
+    ["..."] and embedded quotes doubled, per RFC 4180's core rules. This is
+    enough to round-trip the generated workloads and to let users load
+    their own extracts. *)
+
+(** [parse_line ?delim s] splits one record into fields. *)
+val parse_line : ?delim:char -> string -> string list
+
+(** [render_line ?delim fields] renders one record (no trailing newline). *)
+val render_line : ?delim:char -> string list -> string
+
+(** [load ?delim schema path] reads every line of [path] into a fresh
+    relation; each field is parsed with {!Value.of_string}. Records are
+    one per line: embedded newlines in fields are not supported by the
+    reader (the writer quotes them, but such files need a full CSV
+    parser).
+    @raise Invalid_argument on an arity mismatch (with the line number). *)
+val load : ?delim:char -> Schema.t -> string -> Relation.t
+
+(** [save ?delim relation path] writes one record per tuple. *)
+val save : ?delim:char -> Relation.t -> string -> unit

@@ -1,0 +1,24 @@
+module H = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+type t = int list ref H.t
+
+let create () = H.create 64
+
+let add t v id =
+  match H.find_opt t v with
+  | Some ids -> ids := id :: !ids
+  | None -> H.add t v (ref [ id ])
+
+let lookup t v =
+  match H.find_opt t v with Some ids -> List.rev !ids | None -> []
+
+let mem t v = H.mem t v
+
+let distinct_values t = H.fold (fun v _ acc -> v :: acc) t []
+
+let cardinality t = H.length t

@@ -1,0 +1,24 @@
+(** Hash index from attribute values to tuple identifiers.
+
+    Every attribute of every stored relation carries one of these, which is
+    what makes the bottom-clause construction's indexed selection
+    σ_{A∈M}(R) cheap (Algorithm 2, line 8). *)
+
+type t
+
+val create : unit -> t
+
+(** [add t v id] records that tuple [id] holds value [v] in the indexed
+    attribute. Duplicates are kept (a relation may contain duplicate
+    tuples — the paper's dirty-data setting relies on it). *)
+val add : t -> Value.t -> int -> unit
+
+(** [lookup t v] returns the ids of tuples holding [v], most recent last. *)
+val lookup : t -> Value.t -> int list
+
+val mem : t -> Value.t -> bool
+
+(** [distinct_values t] lists each indexed value once. *)
+val distinct_values : t -> Value.t list
+
+val cardinality : t -> int

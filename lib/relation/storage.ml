@@ -1,0 +1,94 @@
+let domain_to_string = function
+  | Schema.Dint -> "int"
+  | Schema.Dfloat -> "float"
+  | Schema.Dstring -> "string"
+
+let domain_of_string = function
+  | "int" -> Schema.Dint
+  | "float" -> Schema.Dfloat
+  | "string" -> Schema.Dstring
+  | other -> invalid_arg ("Storage: unknown domain " ^ other)
+
+let manifest_path dir = Filename.concat dir "manifest.txt"
+let csv_path dir name = Filename.concat dir (name ^ ".csv")
+
+let save db dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let oc = open_out (manifest_path dir) in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      List.iter
+        (fun r ->
+          let schema = Relation.schema r in
+          let attrs =
+            Array.to_list (Schema.attributes schema)
+            |> List.map (fun (a : Schema.attribute) ->
+                   Printf.sprintf "%s:%s" a.attr_name (domain_to_string a.domain))
+          in
+          Printf.fprintf oc "%s|%s\n" (Schema.name schema)
+            (String.concat "," attrs))
+        (Database.relations db));
+  List.iter
+    (fun r -> Csv.save r (csv_path dir (Relation.name r)))
+    (Database.relations db)
+
+(* Re-type a parsed value according to the declared domain: strings that
+   look numeric must stay strings when the domain says so. *)
+let coerce domain v =
+  match domain, v with
+  | Schema.Dstring, Value.Null -> Value.Null
+  | Schema.Dstring, other -> Value.String (Value.to_string other)
+  | (Schema.Dint | Schema.Dfloat), other -> other
+
+let load dir =
+  let db = Database.create () in
+  let ic = open_in (manifest_path dir) in
+  let entries =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let entries = ref [] in
+        (try
+           while true do
+             let line = input_line ic in
+             if String.length line > 0 then begin
+               match String.index_opt line '|' with
+               | None -> invalid_arg ("Storage: malformed manifest line " ^ line)
+               | Some i ->
+                   let name = String.sub line 0 i in
+                   let attrs =
+                     String.sub line (i + 1) (String.length line - i - 1)
+                     |> String.split_on_char ','
+                     |> List.map (fun spec ->
+                            match String.split_on_char ':' spec with
+                            | [ attr_name; domain ] ->
+                                {
+                                  Schema.attr_name;
+                                  domain = domain_of_string domain;
+                                }
+                            | _ ->
+                                invalid_arg
+                                  ("Storage: malformed attribute " ^ spec))
+                   in
+                   entries := (name, attrs) :: !entries
+             end
+           done
+         with End_of_file -> ());
+        List.rev !entries)
+  in
+  List.iter
+    (fun (name, attrs) ->
+      let schema = Schema.make name attrs in
+      let raw = Csv.load schema (csv_path dir name) in
+      let typed =
+        Relation.map_tuples
+          (fun t ->
+            Tuple.make
+              (List.init (Tuple.arity t) (fun i ->
+                   coerce (Schema.domain schema i) (Tuple.get t i))))
+          raw
+      in
+      Database.add_relation db typed)
+    entries;
+  db

@@ -1,0 +1,16 @@
+(** Directory-based persistence for whole databases.
+
+    A database is stored as one [manifest.txt] plus one CSV per relation.
+    The manifest records each relation's name and schema, one line per
+    relation: [name|attr1:domain,attr2:domain,...] with domain ∈
+    {int, float, string}. Values round-trip through {!Value.to_string} /
+    {!Value.of_string}, with the schema's domain used to keep strings that
+    happen to look numeric as strings. *)
+
+(** [save db dir] writes [dir/manifest.txt] and [dir/<relation>.csv] for
+    every relation, creating [dir] if needed. *)
+val save : Database.t -> string -> unit
+
+(** [load dir] reads a database saved by {!save}.
+    @raise Sys_error / [Invalid_argument] on missing or malformed files. *)
+val load : string -> Database.t

@@ -1,0 +1,66 @@
+let pad width s =
+  let len = String.length s in
+  if len >= width then s else s ^ String.make (width - len) ' '
+
+let render ~header rows =
+  let ncols = List.length header in
+  let normalize row =
+    let len = List.length row in
+    if len >= ncols then row else row @ List.init (ncols - len) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let widths = Array.of_list (List.map String.length header) in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell ->
+          if i < ncols then widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    rows;
+  let render_row row =
+    let cells = List.mapi (fun i cell -> pad widths.(i) cell) row in
+    String.concat "  " cells
+  in
+  let rule =
+    String.concat "--"
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (render_row header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render_row row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let print ~header rows = print_string (render ~header rows)
+
+let of_relation ?(limit = 20) r =
+  let schema = Relation.schema r in
+  let header =
+    Array.to_list
+      (Array.map
+         (fun (a : Schema.attribute) -> a.attr_name)
+         (Schema.attributes schema))
+  in
+  let rows = ref [] in
+  let count = ref 0 in
+  (try
+     Relation.iter
+       (fun _ tu ->
+         if !count >= limit then raise Exit;
+         incr count;
+         rows :=
+           Array.to_list (Array.map Value.to_string tu) :: !rows)
+       r
+   with Exit -> ());
+  let body = List.rev !rows in
+  let table = render ~header body in
+  if Relation.cardinality r > limit then
+    table
+    ^ Printf.sprintf "... (%d more tuples)\n" (Relation.cardinality r - limit)
+  else table

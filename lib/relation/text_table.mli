@@ -1,0 +1,14 @@
+(** Aligned plain-text tables, used by the benchmark harness to print
+    paper-style result tables and by examples to show relations. *)
+
+(** [render ~header rows] renders an ASCII table with a header row, a rule
+    under it, and one line per row; columns are padded to the widest cell.
+    Rows shorter than the header are padded with empty cells. *)
+val render : header:string list -> string list list -> string
+
+(** [print ~header rows] is [print_string (render ~header rows)]. *)
+val print : header:string list -> string list list -> unit
+
+(** [of_relation ?limit r] renders the first [limit] (default 20) tuples of
+    [r] with attribute names as header. *)
+val of_relation : ?limit:int -> Relation.t -> string

@@ -1,0 +1,34 @@
+type t = Value.t array
+
+let make vs = Array.of_list vs
+let of_strings ss = Array.of_list (List.map Value.of_string ss)
+let arity = Array.length
+let get t i = t.(i)
+
+let equal a b =
+  Array.length a = Array.length b && Array.for_all2 Value.equal a b
+
+let compare a b =
+  let rec go i =
+    if i >= Array.length a && i >= Array.length b then 0
+    else if i >= Array.length a then -1
+    else if i >= Array.length b then 1
+    else
+      match Value.compare a.(i) b.(i) with 0 -> go (i + 1) | c -> c
+  in
+  go 0
+
+let hash t = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 t
+
+let project t positions = Array.map (fun i -> t.(i)) positions
+
+let set t i v =
+  let t' = Array.copy t in
+  t'.(i) <- v;
+  t'
+
+let pp fmt t =
+  Format.fprintf fmt "(%s)"
+    (String.concat ", " (Array.to_list (Array.map Value.to_string t)))
+
+let to_string t = Format.asprintf "%a" pp t

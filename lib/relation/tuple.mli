@@ -1,0 +1,31 @@
+(** Tuples: fixed-arity arrays of values.
+
+    A tuple is a function from attribute positions to values; equality is
+    pointwise. Tuples do not carry their schema — relations pair them. *)
+
+type t = Value.t array
+
+val make : Value.t list -> t
+
+(** [of_strings ss] parses each string with {!Value.of_string}. *)
+val of_strings : string list -> t
+
+val arity : t -> int
+
+val get : t -> int -> Value.t
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val hash : t -> int
+
+(** [project t positions] extracts the sub-tuple at [positions], in order. *)
+val project : t -> int array -> t
+
+(** [set t i v] is a copy of [t] with position [i] replaced by [v]. *)
+val set : t -> int -> Value.t -> t
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,50 @@
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | String of string
+
+let equal a b =
+  match a, b with
+  | Null, Null -> true
+  | Int x, Int y -> Int.equal x y
+  | Float x, Float y -> Float.equal x y
+  | String x, String y -> String.equal x y
+  | (Null | Int _ | Float _ | String _), _ -> false
+
+let compare a b =
+  let rank = function Null -> 0 | Int _ -> 1 | Float _ -> 2 | String _ -> 3 in
+  match a, b with
+  | Null, Null -> 0
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | String x, String y -> String.compare x y
+  | _ -> Int.compare (rank a) (rank b)
+
+let hash = function
+  | Null -> 0
+  | Int x -> Hashtbl.hash (1, x)
+  | Float x -> Hashtbl.hash (2, x)
+  | String x -> Hashtbl.hash (3, x)
+
+let is_null = function Null -> true | Int _ | Float _ | String _ -> false
+
+let to_string = function
+  | Null -> "\xe2\x90\x80"
+  | Int x -> string_of_int x
+  | Float x -> Printf.sprintf "%g" x
+  | String x -> x
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)
+
+let of_string s =
+  if String.length s = 0 then Null
+  else
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt s with
+        | Some f -> Float f
+        | None -> String s)
+
+let as_string = to_string

@@ -1,0 +1,36 @@
+(** Typed attribute values.
+
+    Values are the atoms stored in tuples. The paper works over string and
+    numeric domains; [Null] models missing data (e.g. publication years
+    absent from Google Scholar). Two values from different constructors are
+    never equal, and [Null] is not equal to itself under [matches_null]
+    semantics but is equal under structural [equal] so that values can be
+    used as hash-table keys. *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | String of string
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val hash : t -> int
+
+val is_null : t -> bool
+
+(** [to_string v] renders [v] without quotes; [Null] renders as ["␀"]. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** [of_string s] parses [s] as [Int] or [Float] when possible, otherwise
+    returns [String s]. The empty string parses to [Null]. *)
+val of_string : string -> t
+
+(** [as_string v] returns the string payload of [String] values and the
+    rendering of other values; used by the similarity operators, which are
+    defined over string domains. *)
+val as_string : t -> string

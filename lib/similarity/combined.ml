@@ -1,0 +1,28 @@
+type measure =
+  | Paper
+  | Smith_waterman
+  | Levenshtein
+  | Jaro_winkler
+  | Ngram_jaccard of int
+
+let default = Paper
+
+let similarity ?(measure = default) a b =
+  let a = String.lowercase_ascii a and b = String.lowercase_ascii b in
+  match measure with
+  | Paper ->
+      (Smith_waterman.similarity a b +. Length_similarity.similarity a b)
+      /. 2.0
+  | Smith_waterman -> Smith_waterman.similarity a b
+  | Levenshtein -> Levenshtein.similarity a b
+  | Jaro_winkler -> Jaro_winkler.similarity a b
+  | Ngram_jaccard n -> Ngram.jaccard ~n a b
+
+let paper a b = similarity ~measure:Paper a b
+
+let measure_name = function
+  | Paper -> "swg+length"
+  | Smith_waterman -> "smith-waterman-gotoh"
+  | Levenshtein -> "levenshtein"
+  | Jaro_winkler -> "jaro-winkler"
+  | Ngram_jaccard n -> Printf.sprintf "%d-gram-jaccard" n

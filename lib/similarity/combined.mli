@@ -1,0 +1,24 @@
+(** The similarity operators exposed to the rest of the system.
+
+    The paper's operator (§5) is the average of the Smith-Waterman-Gotoh
+    and Length similarity functions; the others are alternatives a user can
+    select (the paper notes its results are orthogonal to the operator's
+    implementation). All operators lowercase their inputs first, since the
+    datasets mix title-casing conventions. *)
+
+type measure =
+  | Paper  (** average of Smith-Waterman-Gotoh and Length similarity *)
+  | Smith_waterman
+  | Levenshtein
+  | Jaro_winkler
+  | Ngram_jaccard of int  (** Jaccard over character n-grams *)
+
+val default : measure
+
+(** [similarity ?measure a b] ∈ [0, 1]. *)
+val similarity : ?measure:measure -> string -> string -> float
+
+(** [paper a b] is [similarity ~measure:Paper a b]. *)
+val paper : string -> string -> float
+
+val measure_name : measure -> string

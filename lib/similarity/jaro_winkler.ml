@@ -1,0 +1,50 @@
+let jaro a b =
+  let n = String.length a and m = String.length b in
+  if n = 0 && m = 0 then 1.0
+  else if n = 0 || m = 0 then 0.0
+  else begin
+    let window = max 0 ((max n m / 2) - 1) in
+    let a_matched = Array.make n false and b_matched = Array.make m false in
+    let matches = ref 0 in
+    for i = 0 to n - 1 do
+      let lo = max 0 (i - window) and hi = min (m - 1) (i + window) in
+      let rec scan j =
+        if j > hi then ()
+        else if (not b_matched.(j)) && a.[i] = b.[j] then begin
+          a_matched.(i) <- true;
+          b_matched.(j) <- true;
+          incr matches
+        end
+        else scan (j + 1)
+      in
+      scan lo
+    done;
+    if !matches = 0 then 0.0
+    else begin
+      (* Count transpositions between the matched subsequences. *)
+      let transpositions = ref 0 in
+      let j = ref 0 in
+      for i = 0 to n - 1 do
+        if a_matched.(i) then begin
+          while not b_matched.(!j) do
+            incr j
+          done;
+          if a.[i] <> b.[!j] then incr transpositions;
+          incr j
+        end
+      done;
+      let mf = float_of_int !matches in
+      let t = float_of_int (!transpositions / 2) in
+      ((mf /. float_of_int n) +. (mf /. float_of_int m) +. ((mf -. t) /. mf))
+      /. 3.0
+    end
+  end
+
+let similarity ?(prefix_scale = 0.1) a b =
+  let j = jaro a b in
+  let max_prefix = min 4 (min (String.length a) (String.length b)) in
+  let rec common i =
+    if i >= max_prefix || a.[i] <> b.[i] then i else common (i + 1)
+  in
+  let l = float_of_int (common 0) in
+  j +. (l *. prefix_scale *. (1.0 -. j))

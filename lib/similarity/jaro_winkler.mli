@@ -1,0 +1,9 @@
+(** Jaro and Jaro-Winkler string similarity. Offered as an alternative
+    similarity operator (the paper's results are orthogonal to the choice
+    of operator); used by the MD-discovery extension. *)
+
+val jaro : string -> string -> float
+
+(** [similarity ?prefix_scale a b] boosts the Jaro score by the length (≤4)
+    of the common prefix, scaled by [prefix_scale] (default 0.1). *)
+val similarity : ?prefix_scale:float -> string -> string -> float

@@ -1,0 +1,5 @@
+let similarity a b =
+  let n = String.length a and m = String.length b in
+  if n = 0 && m = 0 then 1.0
+  else if n = 0 || m = 0 then 0.0
+  else float_of_int (min n m) /. float_of_int (max n m)

@@ -1,0 +1,7 @@
+(** Length similarity: the second half of the paper's operator (§5).
+
+    [similarity a b] divides the length of the shorter string by the length
+    of the longer one; two empty strings are fully similar, one empty
+    string against a non-empty one scores 0. *)
+
+val similarity : string -> string -> float

@@ -1,0 +1,25 @@
+let distance a b =
+  let n = String.length a and m = String.length b in
+  if n = 0 then m
+  else if m = 0 then n
+  else begin
+    let prev = Array.init (m + 1) Fun.id in
+    let curr = Array.make (m + 1) 0 in
+    for i = 1 to n do
+      curr.(0) <- i;
+      for j = 1 to m do
+        let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+        curr.(j) <-
+          min
+            (min (curr.(j - 1) + 1) (prev.(j) + 1))
+            (prev.(j - 1) + cost)
+      done;
+      Array.blit curr 0 prev 0 (m + 1)
+    done;
+    prev.(m)
+  end
+
+let similarity a b =
+  let n = String.length a and m = String.length b in
+  if n = 0 && m = 0 then 1.0
+  else 1.0 -. (float_of_int (distance a b) /. float_of_int (max n m))

@@ -1,0 +1,11 @@
+(** Levenshtein edit distance and derived similarity. Used by the
+    [Castor-Clean] baseline's resolution step and by tests as an
+    independent cross-check of the alignment code. *)
+
+(** [distance a b] is the minimum number of single-character insertions,
+    deletions and substitutions transforming [a] into [b]. *)
+val distance : string -> string -> int
+
+(** [similarity a b] = 1 − distance / max-length, in [0, 1]; 1 for two
+    empty strings. *)
+val similarity : string -> string -> float

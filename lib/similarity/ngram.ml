@@ -1,0 +1,31 @@
+let pad n s =
+  let left = String.make (n - 1) '#' and right = String.make (n - 1) '$' in
+  left ^ String.lowercase_ascii s ^ right
+
+let grams ~n s =
+  if n <= 0 then invalid_arg "Ngram.grams: n must be positive";
+  if String.length s = 0 then []
+  else begin
+    let p = pad n s in
+    let count = String.length p - n + 1 in
+    List.init count (fun i -> String.sub p i n)
+  end
+
+let gram_set ~n s = List.sort_uniq String.compare (grams ~n s)
+
+let overlap_counts ~n a b =
+  let ga = gram_set ~n a and gb = gram_set ~n b in
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun g -> Hashtbl.replace tbl g ()) ga;
+  let inter = List.length (List.filter (Hashtbl.mem tbl) gb) in
+  (inter, List.length ga, List.length gb)
+
+let jaccard ~n a b =
+  let inter, ca, cb = overlap_counts ~n a b in
+  let union = ca + cb - inter in
+  if union = 0 then 1.0 else float_of_int inter /. float_of_int union
+
+let dice ~n a b =
+  let inter, ca, cb = overlap_counts ~n a b in
+  if ca + cb = 0 then 1.0
+  else 2.0 *. float_of_int inter /. float_of_int (ca + cb)

@@ -1,0 +1,20 @@
+(** Character n-grams, their set similarities, and padding.
+
+    n-grams serve two purposes here: Jaccard/Dice similarities as cheap
+    alternative operators, and blocking keys for {!Sim_index} so that
+    similarity search does not compare every pair of values (the paper
+    precomputes similar pairs; blocking is what makes that precomputation
+    subquadratic in practice). *)
+
+(** [grams ~n s] is the list of [n]-grams of [s] after padding with [n−1]
+    ['#'] on the left and ['$'] on the right, lowercased. A string shorter
+    than [n] still yields at least one gram thanks to padding. The empty
+    string yields []. *)
+val grams : n:int -> string -> string list
+
+(** [gram_set ~n s] is [grams] deduplicated. *)
+val gram_set : n:int -> string -> string list
+
+val jaccard : n:int -> string -> string -> float
+
+val dice : n:int -> string -> string -> float

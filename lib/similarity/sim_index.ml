@@ -1,0 +1,91 @@
+open Dlearn_relation
+
+type t = {
+  values : string array;
+  by_gram : (string, int list ref) Hashtbl.t;
+  n : int;
+  measure : Combined.measure;
+}
+
+let create ?(n = 3) ?(measure = Combined.default) values =
+  let distinct = List.sort_uniq String.compare values in
+  let values = Array.of_list distinct in
+  let by_gram = Hashtbl.create (Array.length values * 4) in
+  Array.iteri
+    (fun i v ->
+      List.iter
+        (fun g ->
+          match Hashtbl.find_opt by_gram g with
+          | Some ids -> ids := i :: !ids
+          | None -> Hashtbl.add by_gram g (ref [ i ]))
+        (Ngram.gram_set ~n v))
+    values;
+  { values; by_gram; n; measure }
+
+let of_values ?n ?measure vs =
+  let strings =
+    List.filter_map
+      (fun v -> if Value.is_null v then None else Some (Value.as_string v))
+      vs
+  in
+  create ?n ?measure strings
+
+let size t = Array.length t.values
+
+let take km xs =
+  let rec go i = function
+    | [] -> []
+    | _ when i >= km -> []
+    | x :: rest -> x :: go (i + 1) rest
+  in
+  go 0 xs
+
+let rank_and_cut t ~km ~threshold s candidate_ids =
+  let scored =
+    List.filter_map
+      (fun i ->
+        let v = t.values.(i) in
+        let score = Combined.similarity ~measure:t.measure s v in
+        if score >= threshold then Some (v, score) else None)
+      candidate_ids
+  in
+  let sorted =
+    List.sort
+      (fun (v1, s1) (v2, s2) ->
+        match Float.compare s2 s1 with
+        | 0 -> String.compare v1 v2
+        | c -> c)
+      scored
+  in
+  take km sorted
+
+let query t ~km ~threshold s =
+  let seen = Hashtbl.create 64 in
+  let candidates = ref [] in
+  List.iter
+    (fun g ->
+      match Hashtbl.find_opt t.by_gram g with
+      | Some ids ->
+          List.iter
+            (fun i ->
+              if not (Hashtbl.mem seen i) then begin
+                Hashtbl.add seen i ();
+                candidates := i :: !candidates
+              end)
+            !ids
+      | None -> ())
+    (Ngram.gram_set ~n:t.n s);
+  rank_and_cut t ~km ~threshold s !candidates
+
+let query_brute t ~km ~threshold s =
+  rank_and_cut t ~km ~threshold s
+    (List.init (Array.length t.values) Fun.id)
+
+let match_pairs ?n ?measure ~km ~threshold left right =
+  let index = create ?n ?measure right in
+  let left = List.sort_uniq String.compare left in
+  List.concat_map
+    (fun l ->
+      query index ~km ~threshold l
+      |> List.map (fun (r, score) -> (l, r, score)))
+    left

@@ -1,0 +1,48 @@
+(** Similarity index with n-gram blocking.
+
+    DLearn precomputes pairs of similar values (§5). The index stores the
+    distinct values of one attribute; a query finds the top-[km] stored
+    values whose similarity to the query string reaches a threshold. To
+    avoid the quadratic scan, candidates are restricted to values sharing
+    at least one character n-gram with the query (blocking) — exactness is
+    checked in tests against the brute-force scan for the paper's
+    operator. *)
+
+type t
+
+(** [create ?n ?measure values] indexes the distinct strings of [values].
+    [n] (default 3) is the blocking gram size. *)
+val create : ?n:int -> ?measure:Combined.measure -> string list -> t
+
+(** [of_values ?n ?measure vs] indexes the string renderings of [vs],
+    skipping nulls. *)
+val of_values :
+  ?n:int ->
+  ?measure:Combined.measure ->
+  Dlearn_relation.Value.t list ->
+  t
+
+val size : t -> int
+
+(** [query t ~km ~threshold s] returns up to [km] stored values with
+    similarity ≥ [threshold], best first, ties broken by string order.
+    The query string itself is excluded only by similarity, not identity —
+    an exact duplicate scores 1.0 and is returned. *)
+val query : t -> km:int -> threshold:float -> string -> (string * float) list
+
+(** [query_brute t ~km ~threshold s] is [query] without blocking — the
+    reference implementation used for the ablation bench and tests. *)
+val query_brute :
+  t -> km:int -> threshold:float -> string -> (string * float) list
+
+(** [match_pairs ?n ?measure ~km ~threshold left right] returns, for each
+    string of [left] (deduplicated), its top-[km] matches within [right],
+    as [(left_value, right_value, score)] triples. *)
+val match_pairs :
+  ?n:int ->
+  ?measure:Combined.measure ->
+  km:int ->
+  threshold:float ->
+  string list ->
+  string list ->
+  (string * string * float) list

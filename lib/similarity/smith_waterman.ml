@@ -1,0 +1,50 @@
+type params = {
+  match_score : float;
+  mismatch_score : float;
+  gap_open : float;
+  gap_extend : float;
+}
+
+let default_params =
+  { match_score = 1.0; mismatch_score = -2.0; gap_open = -0.5; gap_extend = -0.2 }
+
+(* Gotoh's O(n*m) recurrence with two rolling rows per matrix:
+   h: best local alignment ending at (i, j);
+   e: best ending with a gap in [a] (horizontal move);
+   f: best ending with a gap in [b] (vertical move). *)
+let raw_score ?(params = default_params) a b =
+  let n = String.length a and m = String.length b in
+  if n = 0 || m = 0 then 0.0
+  else begin
+    let h_prev = Array.make (m + 1) 0.0 in
+    let h_curr = Array.make (m + 1) 0.0 in
+    let f = Array.make (m + 1) neg_infinity in
+    let best = ref 0.0 in
+    for i = 1 to n do
+      h_curr.(0) <- 0.0;
+      let e = ref neg_infinity in
+      for j = 1 to m do
+        e := Float.max (h_curr.(j - 1) +. params.gap_open) (!e +. params.gap_extend);
+        f.(j) <- Float.max (h_prev.(j) +. params.gap_open) (f.(j) +. params.gap_extend);
+        let s =
+          if a.[i - 1] = b.[j - 1] then params.match_score
+          else params.mismatch_score
+        in
+        let diag = h_prev.(j - 1) +. s in
+        let v = Float.max 0.0 (Float.max diag (Float.max !e f.(j))) in
+        h_curr.(j) <- v;
+        if v > !best then best := v
+      done;
+      Array.blit h_curr 0 h_prev 0 (m + 1)
+    done;
+    !best
+  end
+
+let similarity ?(params = default_params) a b =
+  let n = String.length a and m = String.length b in
+  if n = 0 || m = 0 then 0.0
+  else begin
+    let max_score = params.match_score *. float_of_int (min n m) in
+    let s = raw_score ~params a b /. max_score in
+    Float.min 1.0 (Float.max 0.0 s)
+  end

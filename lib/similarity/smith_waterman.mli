@@ -1,0 +1,25 @@
+(** Smith-Waterman-Gotoh local sequence alignment over characters.
+
+    This is the first half of the paper's similarity operator (§5): local
+    alignment with affine gap costs (Gotoh 1982), scored per character and
+    normalised to [0, 1] by the best achievable score of the shorter
+    string. An empty string scores 0 against everything. *)
+
+type params = {
+  match_score : float;  (** reward per aligned equal character, > 0 *)
+  mismatch_score : float;  (** penalty per aligned unequal character, ≤ 0 *)
+  gap_open : float;  (** cost of opening a gap, ≤ 0 *)
+  gap_extend : float;  (** cost of extending an open gap, ≤ 0 *)
+}
+
+(** simmetrics-style defaults: match 1.0, mismatch −2.0, gap open −0.5,
+    gap extend −0.2. *)
+val default_params : params
+
+(** [raw_score ?params a b] is the unnormalised best local alignment
+    score. *)
+val raw_score : ?params:params -> string -> string -> float
+
+(** [similarity ?params a b] ∈ [0, 1]; 1 iff one string is a substring of
+    the other (perfect local alignment of the shorter). *)
+val similarity : ?params:params -> string -> string -> float

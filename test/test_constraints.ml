@@ -1,0 +1,396 @@
+open Dlearn_relation
+open Dlearn_constraints
+
+let sv s = Value.String s
+
+let movies_db () =
+  let db = Database.create () in
+  let movies =
+    Database.create_relation db (Schema.string_attrs "movies" [ "id"; "title"; "year" ])
+  in
+  Relation.insert_all movies
+    [
+      Tuple.of_strings [ "10"; "Star Wars: Episode IV - 1977"; "1977" ];
+      Tuple.of_strings [ "40"; "Star Wars: Episode III - 2005"; "2005" ];
+    ];
+  let hbm =
+    Database.create_relation db (Schema.string_attrs "highBudgetMovies" [ "title" ])
+  in
+  Relation.insert_all hbm [ Tuple.of_strings [ "Star Wars" ] ];
+  db
+
+let md_title =
+  Md.make ~id:"s1" ~left:"movies" ~right:"highBudgetMovies"
+    ~compared:[ ("title", "title") ] ~unified:("title", "title") ()
+
+let sim = Md.default_sim
+
+let md_tests =
+  [
+    Alcotest.test_case "similar accepts heterogeneous titles" `Quick (fun () ->
+        Alcotest.(check bool) "similar" true
+          (Md.similar sim (sv "Star Wars") (sv "Star Wars: Episode IV - 1977")));
+    Alcotest.test_case "similar rejects unrelated titles" `Quick (fun () ->
+        Alcotest.(check bool) "dissimilar" false
+          (Md.similar sim (sv "Superbad") (sv "The Deep Blue Sea")));
+    Alcotest.test_case "nulls are never similar" `Quick (fun () ->
+        Alcotest.(check bool) "null" false (Md.similar sim Value.Null Value.Null));
+    Alcotest.test_case "merged values only match equal values" `Quick (fun () ->
+        let m = Md.Merge.merge (sv "Star Wars") (sv "Star Wars IV") in
+        Alcotest.(check bool) "merged vs similar base" false
+          (Md.similar sim m (sv "Star Wars"));
+        Alcotest.(check bool) "merged vs itself" true (Md.similar sim m m));
+    Alcotest.test_case "merge is commutative and idempotent" `Quick (fun () ->
+        let a = sv "x" and b = sv "y" in
+        Alcotest.(check bool) "commutative" true
+          (Value.equal (Md.Merge.merge a b) (Md.Merge.merge b a));
+        Alcotest.(check bool) "idempotent" true
+          (Value.equal (Md.Merge.merge a a) (Md.Merge.merge a (Md.Merge.merge a a))));
+    Alcotest.test_case "merge flattens nested merges" `Quick (fun () ->
+        let a = sv "a" and b = sv "b" and c = sv "c" in
+        let left = Md.Merge.merge (Md.Merge.merge a b) c in
+        let right = Md.Merge.merge a (Md.Merge.merge b c) in
+        Alcotest.(check bool) "associative" true (Value.equal left right);
+        Alcotest.(check (list string)) "components" [ "a"; "b"; "c" ]
+          (Md.Merge.components left));
+    Alcotest.test_case "empty compared list rejected" `Quick (fun () ->
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore
+               (Md.make ~id:"m" ~left:"a" ~right:"b" ~compared:[]
+                  ~unified:("x", "x") ());
+             false
+           with Invalid_argument _ -> true));
+  ]
+
+let mov2locale () =
+  let r =
+    Relation.create (Schema.string_attrs "mov2locale" [ "title"; "language"; "country" ])
+  in
+  Relation.insert_all r
+    [
+      Tuple.of_strings [ "Bait"; "English"; "USA" ];
+      Tuple.of_strings [ "Bait"; "English"; "Ireland" ];
+      Tuple.of_strings [ "Roma"; "Spanish"; "Mexico" ];
+      Tuple.of_strings [ "Roma"; "Spanish"; "Mexico" ];
+    ];
+  r
+
+(* The paper's phi1: (title, language -> country, (-, English || -)). *)
+let phi1 =
+  Cfd.make ~id:"phi1" ~relation:"mov2locale"
+    ~lhs:[ ("title", Cfd.Wildcard); ("language", Cfd.Const (sv "English")) ]
+    ~rhs:("country", Cfd.Wildcard)
+
+let cfd_tests =
+  [
+    Alcotest.test_case "pair_violates on the paper's example" `Quick (fun () ->
+        let r = mov2locale () in
+        let schema = Relation.schema r in
+        Alcotest.(check bool) "bait pair violates" true
+          (Cfd.pair_violates phi1 schema (Relation.get r 0) (Relation.get r 1));
+        Alcotest.(check bool) "roma pair satisfies (language not English)" false
+          (Cfd.pair_violates phi1 schema (Relation.get r 2) (Relation.get r 3)));
+    Alcotest.test_case "rhs attribute cannot appear in lhs" `Quick (fun () ->
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore
+               (Cfd.make ~id:"bad" ~relation:"r"
+                  ~lhs:[ ("a", Cfd.Wildcard) ]
+                  ~rhs:("a", Cfd.Wildcard));
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "plain FD constructor" `Quick (fun () ->
+        let f = Cfd.fd ~id:"f" ~relation:"r" [ "a"; "b" ] "c" in
+        Alcotest.(check int) "two lhs attrs" 2 (List.length f.Cfd.lhs));
+    Alcotest.test_case "matches implements the paper's asymmetric predicate"
+      `Quick (fun () ->
+        Alcotest.(check bool) "value vs wildcard" true
+          (Cfd.matches Cfd.Wildcard (sv "anything"));
+        Alcotest.(check bool) "value vs equal const" true
+          (Cfd.matches (Cfd.Const (sv "x")) (sv "x"));
+        Alcotest.(check bool) "value vs different const" false
+          (Cfd.matches (Cfd.Const (sv "x")) (sv "y")));
+  ]
+
+let violation_tests =
+  [
+    Alcotest.test_case "find reports the violating pair" `Quick (fun () ->
+        let r = mov2locale () in
+        Alcotest.(check (list (pair int int))) "one pair" [ (0, 1) ]
+          (Violation.find phi1 r));
+    Alcotest.test_case "single-tuple violation of constant rhs" `Quick (fun () ->
+        let r = Relation.create (Schema.string_attrs "r" [ "a"; "b" ]) in
+        ignore (Relation.insert r (Tuple.of_strings [ "k"; "wrong" ]));
+        let cfd =
+          Cfd.make ~id:"c" ~relation:"r"
+            ~lhs:[ ("a", Cfd.Const (sv "k")) ]
+            ~rhs:("b", Cfd.Const (sv "right"))
+        in
+        Alcotest.(check (list (pair int int))) "self pair" [ (0, 0) ]
+          (Violation.find cfd r));
+    Alcotest.test_case "wrong relation rejected" `Quick (fun () ->
+        let r = Relation.create (Schema.string_attrs "other" [ "a"; "b"; "c" ]) in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Violation.find phi1 r);
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "satisfies after manual fix" `Quick (fun () ->
+        let r = mov2locale () in
+        let fixed =
+          Relation.map_tuples
+            (fun t ->
+              if Value.equal (Tuple.get t 2) (sv "Ireland") then
+                Tuple.set t 2 (sv "USA")
+              else t)
+            r
+        in
+        let db = Database.create () in
+        Database.add_relation db fixed;
+        Alcotest.(check bool) "satisfied" true (Violation.satisfies [ phi1 ] db));
+  ]
+
+let consistency_tests =
+  [
+    Alcotest.test_case "conflicting constant rhs on wildcard lhs is inconsistent"
+      `Quick (fun () ->
+        (* (A -> B, - || b1) and (A -> B, - || b2): every tuple would need
+           B = b1 and B = b2 simultaneously. *)
+        let c1 =
+          Cfd.make ~id:"c1" ~relation:"R"
+            ~lhs:[ ("A", Cfd.Wildcard) ]
+            ~rhs:("B", Cfd.Const (sv "b1"))
+        in
+        let c2 =
+          Cfd.make ~id:"c2" ~relation:"R"
+            ~lhs:[ ("A", Cfd.Wildcard) ]
+            ~rhs:("B", Cfd.Const (sv "b2"))
+        in
+        Alcotest.(check bool) "inconsistent" false (Consistency.consistent [ c1; c2 ]));
+    Alcotest.test_case
+      "paper's prose example is satisfiable under standard semantics" `Quick
+      (fun () ->
+        (* §2.3 calls (A -> B, a1 || b1), (B -> A, b1 || a2) unsatisfiable,
+           but a tuple matching neither pattern (e.g. A = a2, B = b2)
+           satisfies both vacuously under the standard CFD semantics the
+           same section defines; the single-tuple criterion of Bohannon et
+           al. agrees. We follow the standard semantics. *)
+        let c1 =
+          Cfd.make ~id:"c1" ~relation:"R"
+            ~lhs:[ ("A", Cfd.Const (sv "a1")) ]
+            ~rhs:("B", Cfd.Const (sv "b1"))
+        in
+        let c2 =
+          Cfd.make ~id:"c2" ~relation:"R"
+            ~lhs:[ ("B", Cfd.Const (sv "b1")) ]
+            ~rhs:("A", Cfd.Const (sv "a2"))
+        in
+        Alcotest.(check bool) "consistent" true (Consistency.consistent [ c1; c2 ]));
+    Alcotest.test_case "plain FDs are consistent" `Quick (fun () ->
+        let f1 = Cfd.fd ~id:"f1" ~relation:"R" [ "A" ] "B" in
+        let f2 = Cfd.fd ~id:"f2" ~relation:"R" [ "B" ] "C" in
+        Alcotest.(check bool) "consistent" true (Consistency.consistent [ f1; f2 ]));
+    Alcotest.test_case "constant rhs alone is consistent" `Quick (fun () ->
+        let c =
+          Cfd.make ~id:"c" ~relation:"R"
+            ~lhs:[ ("A", Cfd.Const (sv "a1")) ]
+            ~rhs:("B", Cfd.Const (sv "b1"))
+        in
+        Alcotest.(check bool) "consistent" true (Consistency.consistent [ c ]));
+    Alcotest.test_case "CFDs over different relations never clash" `Quick
+      (fun () ->
+        let c1 =
+          Cfd.make ~id:"c1" ~relation:"R"
+            ~lhs:[ ("A", Cfd.Const (sv "a1")) ]
+            ~rhs:("B", Cfd.Const (sv "b1"))
+        in
+        let c2 =
+          Cfd.make ~id:"c2" ~relation:"S"
+            ~lhs:[ ("B", Cfd.Const (sv "b1")) ]
+            ~rhs:("A", Cfd.Const (sv "a2"))
+        in
+        Alcotest.(check bool) "consistent" true (Consistency.consistent [ c1; c2 ]));
+    Alcotest.test_case "empty set is consistent" `Quick (fun () ->
+        Alcotest.(check bool) "consistent" true (Consistency.consistent []));
+  ]
+
+let stable_tests =
+  [
+    Alcotest.test_case "example 2.3: two stable instances" `Quick (fun () ->
+        let db = movies_db () in
+        let instances = Stable_instance.stable_instances ~sim db [ md_title ] in
+        Alcotest.(check int) "two instances" 2 (List.length instances);
+        List.iter
+          (fun i ->
+            Alcotest.(check bool) "each is stable" true
+              (Stable_instance.is_stable ~sim i [ md_title ]))
+          instances);
+    Alcotest.test_case "enforcement merges both sides" `Quick (fun () ->
+        let db = movies_db () in
+        match Stable_instance.unresolved_matches ~sim db [ md_title ] with
+        | [] -> Alcotest.fail "expected at least one site"
+        | site :: _ ->
+            let db' = Stable_instance.enforce db site in
+            let movies = Database.find db' "movies" in
+            let hbm = Database.find db' "highBudgetMovies" in
+            let merged_in_movies =
+              Relation.fold
+                (fun _ t acc -> acc || Md.Merge.is_merged (Tuple.get t 1))
+                movies false
+            in
+            let merged_in_hbm =
+              Relation.fold
+                (fun _ t acc -> acc || Md.Merge.is_merged (Tuple.get t 0))
+                hbm false
+            in
+            Alcotest.(check bool) "movies side merged" true merged_in_movies;
+            Alcotest.(check bool) "hbm side merged" true merged_in_hbm);
+    Alcotest.test_case "already-stable database has one instance: itself" `Quick
+      (fun () ->
+        let db = Database.create () in
+        let movies =
+          Database.create_relation db (Schema.string_attrs "movies" [ "id"; "title"; "year" ])
+        in
+        ignore (Relation.insert movies (Tuple.of_strings [ "1"; "Alien"; "1979" ]));
+        let hbm =
+          Database.create_relation db (Schema.string_attrs "highBudgetMovies" [ "title" ])
+        in
+        ignore (Relation.insert hbm (Tuple.of_strings [ "Alien" ]));
+        Alcotest.(check bool) "stable" true
+          (Stable_instance.is_stable ~sim db [ md_title ]);
+        Alcotest.(check int) "one instance" 1
+          (List.length (Stable_instance.stable_instances ~sim db [ md_title ])));
+    Alcotest.test_case "original database untouched by enforcement" `Quick
+      (fun () ->
+        let db = movies_db () in
+        (match Stable_instance.unresolved_matches ~sim db [ md_title ] with
+        | site :: _ -> ignore (Stable_instance.enforce db site)
+        | [] -> Alcotest.fail "expected a site");
+        let hbm = Database.find db "highBudgetMovies" in
+        Alcotest.(check bool) "still original title" true
+          (Relation.contains hbm (Tuple.of_strings [ "Star Wars" ])));
+  ]
+
+let repair_tests =
+  [
+    Alcotest.test_case "repairing removes all violations" `Quick (fun () ->
+        let r = mov2locale () in
+        let r' = Minimal_repair.repair_relation [ phi1 ] r in
+        Alcotest.(check (list (pair int int))) "clean" [] (Violation.find phi1 r'));
+    Alcotest.test_case "repair cost is minimal for the 2-1 split" `Quick
+      (fun () ->
+        let r =
+          Relation.create (Schema.string_attrs "mov2locale" [ "title"; "language"; "country" ])
+        in
+        Relation.insert_all r
+          [
+            Tuple.of_strings [ "Bait"; "English"; "USA" ];
+            Tuple.of_strings [ "Bait"; "English"; "USA" ];
+            Tuple.of_strings [ "Bait"; "English"; "Ireland" ];
+          ];
+        let r' = Minimal_repair.repair_relation [ phi1 ] r in
+        (* Majority value USA wins: exactly one modification. *)
+        Alcotest.(check int) "one change" 1 (Minimal_repair.modifications r r');
+        Alcotest.(check int) "no violations" 0 (List.length (Violation.find phi1 r')));
+    Alcotest.test_case "constant rhs pattern forces the constant" `Quick
+      (fun () ->
+        let cfd =
+          Cfd.make ~id:"c" ~relation:"r"
+            ~lhs:[ ("a", Cfd.Const (sv "k")) ]
+            ~rhs:("b", Cfd.Const (sv "right"))
+        in
+        let r = Relation.create (Schema.string_attrs "r" [ "a"; "b" ]) in
+        Relation.insert_all r
+          [ Tuple.of_strings [ "k"; "wrong" ]; Tuple.of_strings [ "k"; "right" ] ];
+        let r' = Minimal_repair.repair_relation [ cfd ] r in
+        Relation.iter
+          (fun _ t ->
+            Alcotest.(check bool) "forced to constant" true
+              (Value.equal (Tuple.get t 1) (sv "right")))
+          r');
+    Alcotest.test_case "clean relation is returned unchanged" `Quick (fun () ->
+        let r = mov2locale () in
+        let clean =
+          Relation.filter (fun t -> not (Value.equal (Tuple.get t 2) (sv "Ireland"))) r
+        in
+        let clean' = Minimal_repair.repair_relation [ phi1 ] clean in
+        Alcotest.(check int) "no modifications" 0
+          (Minimal_repair.modifications clean clean'));
+    Alcotest.test_case "database-level repair covers every relation" `Quick
+      (fun () ->
+        let db = Database.create () in
+        Database.add_relation db (mov2locale ());
+        let db' = Minimal_repair.repair [ phi1 ] db in
+        Alcotest.(check bool) "satisfied" true (Violation.satisfies [ phi1 ] db');
+        Alcotest.(check int) "original still dirty" 1
+          (Violation.count [ phi1 ] db));
+  ]
+
+let qcheck_tests =
+  let word =
+    QCheck.make
+      ~print:(fun s -> s)
+      QCheck.Gen.(string_size ~gen:(char_range 'a' 'd') (1 -- 6))
+  in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"merge is commutative" ~count:200
+         (QCheck.pair word word) (fun (a, b) ->
+           Value.equal (Md.Merge.merge (sv a) (sv b)) (Md.Merge.merge (sv b) (sv a))));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"merge is associative" ~count:200
+         (QCheck.triple word word word) (fun (a, b, c) ->
+           Value.equal
+             (Md.Merge.merge (Md.Merge.merge (sv a) (sv b)) (sv c))
+             (Md.Merge.merge (sv a) (Md.Merge.merge (sv b) (sv c)))));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"merged values are recognisable" ~count:200
+         (QCheck.pair word word) (fun (a, b) ->
+           Md.Merge.is_merged (Md.Merge.merge (sv a) (sv b))));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"repair always eliminates violations of one CFD"
+         ~count:100
+         (QCheck.list_of_size (QCheck.Gen.int_range 0 12) (QCheck.pair word word))
+         (fun rows ->
+           let r = Relation.create (Schema.string_attrs "r" [ "a"; "b" ]) in
+           List.iter
+             (fun (a, b) -> ignore (Relation.insert r (Tuple.of_strings [ a; b ])))
+             rows;
+           let cfd = Cfd.fd ~id:"f" ~relation:"r" [ "a" ] "b" in
+           let r' = Minimal_repair.repair_relation [ cfd ] r in
+           Violation.find cfd r' = []));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"stable instances are stable" ~count:40
+         (QCheck.list_of_size (QCheck.Gen.int_range 1 4) word) (fun titles ->
+           let db = Database.create () in
+           let movies =
+             Database.create_relation db (Schema.string_attrs "movies" [ "id"; "title"; "year" ])
+           in
+           List.iteri
+             (fun i t ->
+               ignore
+                 (Relation.insert movies
+                    (Tuple.of_strings [ string_of_int i; t ^ " (2000)"; "2000" ])))
+             titles;
+           let hbm =
+             Database.create_relation db (Schema.string_attrs "highBudgetMovies" [ "title" ])
+           in
+           List.iter
+             (fun t -> ignore (Relation.insert hbm (Tuple.of_strings [ t ])))
+             titles;
+           Stable_instance.stable_instances ~sim db [ md_title ]
+           |> List.for_all (fun i -> Stable_instance.is_stable ~sim i [ md_title ])));
+  ]
+
+let () =
+  Alcotest.run "constraints"
+    [
+      ("md", md_tests);
+      ("cfd", cfd_tests);
+      ("violation", violation_tests);
+      ("consistency", consistency_tests);
+      ("stable_instance", stable_tests);
+      ("minimal_repair", repair_tests);
+      ("properties", qcheck_tests);
+    ]

@@ -1,0 +1,846 @@
+open Dlearn_logic
+
+let v = Term.var
+let s = Term.str
+let rel = Literal.rel
+
+(* An MD repair group as bottom-clause construction emits it: both sides of
+   the similarity match [x ≈ y] are replaced simultaneously, and firing
+   consumes the similarity literals that mention the replaced terms. *)
+let md_group ~md ~group ~sims_of_left ~sims_of_right (x, vx) (y, vy) cond =
+  [
+    Literal.Repair
+      {
+        origin = Literal.From_md md;
+        group;
+        cond;
+        subject = x;
+        replacement = vx;
+        drops = sims_of_left;
+      };
+    Literal.Repair
+      {
+        origin = Literal.From_md md;
+        group;
+        cond;
+        subject = y;
+        replacement = vy;
+        drops = sims_of_right;
+      };
+    Literal.Eq (vx, vy);
+  ]
+
+(* Example 3.2 of the paper. *)
+let example_3_2 () =
+  let x = v "x" and y = v "y" and t = v "t" and z = v "z" in
+  let vx = v "vx" and vt = v "vt" in
+  let sim = Literal.Sim (x, t) in
+  Clause.make
+    ~head:(rel "highGrossing" [ x ])
+    ([
+       rel "movies" [ y; t; z ];
+       rel "mov2genres" [ y; s "comedy" ];
+       rel "highBudgetMovies" [ x ];
+       sim;
+     ]
+    @ md_group ~md:"s1" ~group:0 ~sims_of_left:[ sim ] ~sims_of_right:[ sim ]
+        (x, vx) (t, vt)
+        [ Cond.Csim (x, t) ])
+
+(* Example 3.3 of the paper: two MDs both matching the head variable. *)
+let example_3_3 () =
+  let x = v "x" and y = v "y" and z = v "z" in
+  let vx = v "vx" and vy = v "vy" and ux = v "ux" and vz = v "vz" in
+  let sim_xy = Literal.Sim (x, y) and sim_xz = Literal.Sim (x, z) in
+  Clause.make
+    ~head:(rel "T" [ x ])
+    ([ rel "R" [ y ]; sim_xy ]
+    @ md_group ~md:"m1" ~group:0 ~sims_of_left:[ sim_xy; sim_xz ]
+        ~sims_of_right:[ sim_xy ] (x, vx) (y, vy)
+        [ Cond.Csim (x, y) ]
+    @ [ rel "S" [ z ]; sim_xz ]
+    @ md_group ~md:"m2" ~group:1 ~sims_of_left:[ sim_xy; sim_xz ]
+        ~sims_of_right:[ sim_xz ] (x, ux) (z, vz)
+        [ Cond.Csim (x, z) ])
+
+let clause_equal_mod_order a b =
+  Clause.equal (Clause.canonical a) (Clause.canonical b)
+
+let contains_clause cs c = List.exists (clause_equal_mod_order c) cs
+
+let clause_tests =
+  [
+    Alcotest.test_case "head must be a schema atom" `Quick (fun () ->
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Clause.make ~head:(Literal.Eq (v "x", v "y")) []);
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "head_connected drops disconnected literals" `Quick
+      (fun () ->
+        let c =
+          Clause.make
+            ~head:(rel "T" [ v "x" ])
+            [ rel "R" [ v "x"; v "y" ]; rel "S" [ v "z"; v "w" ] ]
+        in
+        let c' = Clause.head_connected c in
+        Alcotest.(check int) "one body literal" 1 (Clause.body_size c'));
+    Alcotest.test_case "head_connected keeps transitive connections" `Quick
+      (fun () ->
+        let c =
+          Clause.make
+            ~head:(rel "T" [ v "x" ])
+            [ rel "R" [ v "x"; v "y" ]; rel "S" [ v "y"; v "z" ] ]
+        in
+        Alcotest.(check int) "both kept" 2
+          (Clause.body_size (Clause.head_connected c)));
+    Alcotest.test_case "head_connected drops repairs of dropped literals" `Quick
+      (fun () ->
+        let repair =
+          Literal.Repair
+            {
+              origin = Literal.From_md "m";
+              group = 0;
+              cond = [];
+              subject = v "z";
+              replacement = v "vz";
+              drops = [];
+            }
+        in
+        let c =
+          Clause.make
+            ~head:(rel "T" [ v "x" ])
+            [ rel "R" [ v "x"; v "y" ]; rel "S" [ v "z"; v "w" ]; repair ]
+        in
+        let c' = Clause.head_connected c in
+        Alcotest.(check int) "repair gone too" 1 (Clause.body_size c'));
+    Alcotest.test_case "remove_dangling_restrictions" `Quick (fun () ->
+        let c =
+          Clause.make
+            ~head:(rel "T" [ v "x" ])
+            [
+              rel "R" [ v "x"; v "y" ];
+              Literal.Eq (v "y", v "x");
+              Literal.Eq (v "u", v "w");
+              Literal.Sim (v "x", v "u");
+            ]
+        in
+        let c' = Clause.remove_dangling_restrictions c in
+        Alcotest.(check int) "only anchored restriction kept" 2
+          (Clause.body_size c'));
+    Alcotest.test_case "vars collects head and body" `Quick (fun () ->
+        let c = example_3_2 () in
+        Alcotest.(check bool) "x present" true (List.mem "x" (Clause.vars c));
+        Alcotest.(check bool) "vt present" true (List.mem "vt" (Clause.vars c)));
+    Alcotest.test_case "canonical deduplicates" `Quick (fun () ->
+        let l = rel "R" [ v "x" ] in
+        let c = Clause.make ~head:(rel "T" [ v "x" ]) [ l; l ] in
+        Alcotest.(check int) "dedup" 1 (Clause.body_size (Clause.canonical c)));
+  ]
+
+let env_tests =
+  [
+    Alcotest.test_case "equality closes over chains" `Quick (fun () ->
+        let env =
+          Clause_env.of_body [ Literal.Eq (v "x", v "y"); Literal.Eq (v "y", v "z") ]
+        in
+        Alcotest.(check bool) "x = z" true (Clause_env.eq env (v "x") (v "z")));
+    Alcotest.test_case "equal constants are equal" `Quick (fun () ->
+        let env = Clause_env.of_body [] in
+        Alcotest.(check bool) "a = a" true (Clause_env.eq env (s "a") (s "a"));
+        Alcotest.(check bool) "a != b" true (Clause_env.neq env (s "a") (s "b")));
+    Alcotest.test_case "similarity modulo equality" `Quick (fun () ->
+        let env =
+          Clause_env.of_body
+            [ Literal.Sim (v "x", v "y"); Literal.Eq (v "y", v "z") ]
+        in
+        Alcotest.(check bool) "x ~ z" true (Clause_env.sim env (v "x") (v "z")));
+    Alcotest.test_case "similarity is reflexive" `Quick (fun () ->
+        let env = Clause_env.of_body [] in
+        Alcotest.(check bool) "x ~ x" true (Clause_env.sim env (v "x") (v "x")));
+    Alcotest.test_case "neq is the negation of eq" `Quick (fun () ->
+        let env = Clause_env.of_body [ Literal.Eq (v "x", v "y") ] in
+        Alcotest.(check bool) "x != y is false" false
+          (Clause_env.neq env (v "x") (v "y")));
+    Alcotest.test_case "cond evaluation" `Quick (fun () ->
+        let env = Clause_env.of_body [ Literal.Sim (v "x", v "t") ] in
+        Alcotest.(check bool) "sim cond holds" true
+          (Clause_env.eval_cond env [ Cond.Csim (v "x", v "t") ]);
+        Alcotest.(check bool) "conjunction with failing eq" false
+          (Clause_env.eval_cond env
+             [ Cond.Csim (v "x", v "t"); Cond.Ceq (v "x", v "t") ]));
+  ]
+
+let substitution_tests =
+  [
+    Alcotest.test_case "bind rejects conflicts" `Quick (fun () ->
+        let th = Substitution.singleton "x" (s "a") in
+        Alcotest.(check bool) "same binding ok" true
+          (Substitution.bind th "x" (s "a") <> None);
+        Alcotest.(check bool) "conflict rejected" true
+          (Substitution.bind th "x" (s "b") = None));
+    Alcotest.test_case "apply_clause rewrites terms" `Quick (fun () ->
+        let th = Substitution.of_list [ ("x", s "a"); ("y", s "b") ] in
+        let c =
+          Clause.make ~head:(rel "T" [ v "x" ]) [ rel "R" [ v "x"; v "y" ] ]
+        in
+        let c' = Substitution.apply_clause th c in
+        Alcotest.(check bool) "ground now" true
+          (Clause.vars c' = []));
+  ]
+
+let ground_d () =
+  Clause.make
+    ~head:(rel "highGrossing" [ s "m1" ])
+    [
+      rel "movies" [ s "m1"; s "Superbad (2007)"; s "2007" ];
+      rel "mov2genres" [ s "m1"; s "comedy" ];
+      rel "mov2countries" [ s "m1"; s "c1" ];
+    ]
+
+let subsumption_tests =
+  [
+    Alcotest.test_case "paper example: generalisation subsumes" `Quick (fun () ->
+        let c =
+          Clause.make
+            ~head:(rel "highGrossing" [ v "x" ])
+            [ rel "movies" [ v "x"; v "y"; v "z" ] ]
+        in
+        Alcotest.(check bool) "subsumes" true (Subsumption.subsumes_bool c (ground_d ())));
+    Alcotest.test_case "missing predicate blocks subsumption" `Quick (fun () ->
+        let c =
+          Clause.make
+            ~head:(rel "highGrossing" [ v "x" ])
+            [ rel "mov2releasedate" [ v "x"; s "May"; v "u" ] ]
+        in
+        Alcotest.(check bool) "not subsumed" false
+          (Subsumption.subsumes_bool c (ground_d ())));
+    Alcotest.test_case "constant mismatch blocks subsumption" `Quick (fun () ->
+        let c =
+          Clause.make
+            ~head:(rel "highGrossing" [ v "x" ])
+            [ rel "mov2genres" [ v "y"; s "drama" ] ]
+        in
+        Alcotest.(check bool) "not subsumed" false
+          (Subsumption.subsumes_bool c (ground_d ())));
+    Alcotest.test_case "head must unify" `Quick (fun () ->
+        let c = Clause.make ~head:(rel "otherTarget" [ v "x" ]) [] in
+        Alcotest.(check bool) "not subsumed" false
+          (Subsumption.subsumes_bool c (ground_d ())));
+    Alcotest.test_case "shared variable forces join" `Quick (fun () ->
+        (* movies and mov2genres must join on the id in C, and do in D. *)
+        let c =
+          Clause.make
+            ~head:(rel "highGrossing" [ v "x" ])
+            [ rel "movies" [ v "y"; v "t"; v "z" ]; rel "mov2genres" [ v "y"; s "comedy" ] ]
+        in
+        Alcotest.(check bool) "subsumed" true (Subsumption.subsumes_bool c (ground_d ())));
+    Alcotest.test_case "equality literal satisfied through bindings" `Quick
+      (fun () ->
+        let c =
+          Clause.make
+            ~head:(rel "T" [ v "x" ])
+            [
+              rel "R" [ v "x"; v "y" ];
+              rel "S" [ v "x"; v "z" ];
+              Literal.Eq (v "y", v "z");
+            ]
+        in
+        let d_good =
+          Clause.make
+            ~head:(rel "T" [ s "a" ])
+            [ rel "R" [ s "a"; s "b" ]; rel "S" [ s "a"; s "b" ] ]
+        in
+        let d_bad =
+          Clause.make
+            ~head:(rel "T" [ s "a" ])
+            [ rel "R" [ s "a"; s "b" ]; rel "S" [ s "a"; s "c" ] ]
+        in
+        Alcotest.(check bool) "good" true (Subsumption.subsumes_bool c d_good);
+        Alcotest.(check bool) "bad" false (Subsumption.subsumes_bool c d_bad));
+    Alcotest.test_case "similarity literal needs support in D" `Quick (fun () ->
+        let c =
+          Clause.make
+            ~head:(rel "T" [ v "x" ])
+            [ rel "R" [ v "y" ]; Literal.Sim (v "x", v "y") ]
+        in
+        let d_with =
+          Clause.make
+            ~head:(rel "T" [ s "a" ])
+            [ rel "R" [ s "b" ]; Literal.Sim (s "a", s "b") ]
+        in
+        let d_without =
+          Clause.make ~head:(rel "T" [ s "a" ]) [ rel "R" [ s "b" ] ]
+        in
+        Alcotest.(check bool) "with sim" true (Subsumption.subsumes_bool c d_with);
+        Alcotest.(check bool) "without sim" false
+          (Subsumption.subsumes_bool c d_without));
+    Alcotest.test_case "repair connectivity (Def 4.4) enforced" `Quick (fun () ->
+        let vab = s "v{a|b}" in
+        let d =
+          Clause.make
+            ~head:(rel "T" [ s "a" ])
+            [
+              rel "R" [ s "b" ];
+              Literal.Sim (s "a", s "b");
+              Literal.Repair
+                {
+                  origin = Literal.From_md "m1";
+                  group = 0;
+                  cond = [ Cond.Csim (s "a", s "b") ];
+                  subject = s "a";
+                  replacement = vab;
+                  drops = [ Literal.Sim (s "a", s "b") ];
+                };
+              Literal.Repair
+                {
+                  origin = Literal.From_md "m1";
+                  group = 0;
+                  cond = [ Cond.Csim (s "a", s "b") ];
+                  subject = s "b";
+                  replacement = vab;
+                  drops = [ Literal.Sim (s "a", s "b") ];
+                };
+            ]
+        in
+        let c_without =
+          Clause.make
+            ~head:(rel "T" [ v "x" ])
+            [ rel "R" [ v "y" ]; Literal.Sim (v "x", v "y") ]
+        in
+        Alcotest.(check bool) "fails without matching repairs" false
+          (Subsumption.subsumes_bool c_without d);
+        Alcotest.(check bool) "passes with connectivity disabled" true
+          (Subsumption.subsumes_bool ~repair_connectivity:false c_without d);
+        let sim = Literal.Sim (v "x", v "y") in
+        let c_with =
+          Clause.make
+            ~head:(rel "T" [ v "x" ])
+            ([ rel "R" [ v "y" ]; sim ]
+            @ md_group ~md:"m1" ~group:0 ~sims_of_left:[ sim ]
+                ~sims_of_right:[ sim ]
+                (v "x", v "vx")
+                (v "y", v "vy")
+                [ Cond.Csim (v "x", v "y") ])
+        in
+        Alcotest.(check bool) "succeeds with matching repairs" true
+          (Subsumption.subsumes_bool c_with d));
+    Alcotest.test_case "budget exhaustion is reported" `Quick (fun () ->
+        let c =
+          Clause.make
+            ~head:(rel "T" [ v "x" ])
+            [ rel "R" [ v "a"; v "b" ]; rel "R" [ v "c"; v "d" ] ]
+        in
+        let body =
+          List.init 10 (fun i ->
+              rel "R" [ s (string_of_int i); s (string_of_int (i + 1)) ])
+        in
+        let d = Clause.make ~head:(rel "T" [ s "0" ]) body in
+        Alcotest.(check bool) "exhausted" true
+          (Subsumption.subsumes ~budget:3 c d = Subsumption.Budget_exhausted));
+    Alcotest.test_case "clause subsumes itself (with repairs)" `Quick (fun () ->
+        let c = example_3_3 () in
+        Alcotest.(check bool) "reflexive" true (Subsumption.subsumes_bool c c));
+    Alcotest.test_case "equivalence modulo body order" `Quick (fun () ->
+        let c1 =
+          Clause.make
+            ~head:(rel "T" [ v "x" ])
+            [ rel "R" [ v "x"; v "y" ]; rel "S" [ v "y" ] ]
+        in
+        let c2 =
+          Clause.make
+            ~head:(rel "T" [ v "x" ])
+            [ rel "S" [ v "y" ]; rel "R" [ v "x"; v "y" ] ]
+        in
+        Alcotest.(check bool) "equivalent" true (Subsumption.equivalent c1 c2));
+    Alcotest.test_case "subsumption is not symmetric" `Quick (fun () ->
+        let general =
+          Clause.make ~head:(rel "T" [ v "x" ]) [ rel "R" [ v "x"; v "y" ] ]
+        in
+        let specific =
+          Clause.make
+            ~head:(rel "T" [ v "x" ])
+            [ rel "R" [ v "x"; v "y" ]; rel "S" [ v "y" ] ]
+        in
+        Alcotest.(check bool) "general subsumes specific" true
+          (Subsumption.subsumes_bool general specific);
+        Alcotest.(check bool) "specific does not subsume general" false
+          (Subsumption.subsumes_bool specific general));
+  ]
+
+let repair_tests =
+  [
+    Alcotest.test_case "example 3.2: one repaired clause" `Quick (fun () ->
+        let repaired = Clause_repair.repaired_clauses (example_3_2 ()) in
+        Alcotest.(check int) "1 repair" 1 (List.length repaired);
+        let expected =
+          Clause.make
+            ~head:(rel "highGrossing" [ v "vx" ])
+            [
+              rel "movies" [ v "y"; v "vt"; v "z" ];
+              rel "mov2genres" [ v "y"; s "comedy" ];
+              rel "highBudgetMovies" [ v "vx" ];
+              Literal.Eq (v "vx", v "vt");
+            ]
+        in
+        Alcotest.(check bool) "matches paper" true
+          (contains_clause repaired expected));
+    Alcotest.test_case "example 3.3: two repaired clauses" `Quick (fun () ->
+        let repaired = Clause_repair.repaired_clauses (example_3_3 ()) in
+        Alcotest.(check int) "2 repairs" 2 (List.length repaired);
+        let h1 =
+          Clause.make
+            ~head:(rel "T" [ v "vx" ])
+            [ rel "R" [ v "vy" ]; Literal.Eq (v "vx", v "vy"); rel "S" [ v "z" ] ]
+        in
+        let h2 =
+          Clause.make
+            ~head:(rel "T" [ v "ux" ])
+            [ rel "R" [ v "y" ]; rel "S" [ v "vz" ]; Literal.Eq (v "ux", v "vz") ]
+        in
+        Alcotest.(check bool) "H'1 produced" true (contains_clause repaired h1);
+        Alcotest.(check bool) "H'2 produced" true (contains_clause repaired h2));
+    Alcotest.test_case "repair-free clause repairs to itself" `Quick (fun () ->
+        let c =
+          Clause.make ~head:(rel "T" [ v "x" ]) [ rel "R" [ v "x"; v "y" ] ]
+        in
+        match Clause_repair.repaired_clauses c with
+        | [ c' ] -> Alcotest.(check bool) "same" true (Clause.equal c c')
+        | other -> Alcotest.failf "expected 1, got %d" (List.length other));
+    Alcotest.test_case "md repair with false condition just disappears" `Quick
+      (fun () ->
+        (* No similarity literal in the clause: the condition x ~ t fails. *)
+        let x = v "x" and t = v "t" in
+        let c =
+          Clause.make
+            ~head:(rel "T" [ x ])
+            ([ rel "R" [ t ] ]
+            @ md_group ~md:"m" ~group:0 ~sims_of_left:[] ~sims_of_right:[]
+                (x, v "vx") (t, v "vt")
+                [ Cond.Csim (x, t) ])
+        in
+        match Clause_repair.repaired_clauses c with
+        | [ c' ] ->
+            Alcotest.(check int) "only R remains" 1 (Clause.body_size c');
+            Alcotest.(check bool) "head unchanged" true
+              (Literal.equal c'.Clause.head (rel "T" [ x ]))
+        | other -> Alcotest.failf "expected 1, got %d" (List.length other));
+    Alcotest.test_case "cfd group yields one repair per alternative" `Quick
+      (fun () ->
+        (* A violation of (title -> country): two alternatives for the RHS. *)
+        let z = v "z" and t = v "t" in
+        let cond = [ Cond.Cneq (z, t) ] in
+        let mk subject replacement =
+          Literal.Repair
+            {
+              origin = Literal.From_cfd "phi1";
+              group = 0;
+              cond;
+              subject;
+              replacement;
+              drops = [];
+            }
+        in
+        let c =
+          Clause.make
+            ~head:(rel "T" [ v "x" ])
+            [
+              rel "loc" [ v "x"; z ];
+              rel "loc" [ v "x"; t ];
+              mk z t;
+              mk t z;
+            ]
+        in
+        let repaired = Clause_repair.repaired_clauses c in
+        Alcotest.(check int) "2 alternatives" 2 (List.length repaired);
+        List.iter
+          (fun c' ->
+            Alcotest.(check bool) "violation resolved: both loc literals equal"
+              true
+              (match Clause.rel_body (Clause.canonical c') with
+              | [ _one ] -> true
+              | _ -> false))
+          repaired);
+    Alcotest.test_case "cfd_applications leaves md repairs in place" `Quick
+      (fun () ->
+        let c = example_3_3 () in
+        match Clause_repair.cfd_applications c with
+        | [ c' ] ->
+            Alcotest.(check int) "md repairs kept" 4
+              (List.length (Clause.repair_body c'))
+        | other -> Alcotest.failf "expected 1, got %d" (List.length other));
+    Alcotest.test_case "is_repaired" `Quick (fun () ->
+        Alcotest.(check bool) "with repairs" false
+          (Clause_repair.is_repaired (example_3_2 ()));
+        List.iter
+          (fun c ->
+            Alcotest.(check bool) "repaired" true (Clause_repair.is_repaired c))
+          (Clause_repair.repaired_clauses (example_3_2 ())));
+  ]
+
+let definition_tests =
+  [
+    Alcotest.test_case "add enforces target" `Quick (fun () ->
+        let d = Definition.empty "T" in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore
+               (Definition.add d
+                  (Clause.make ~head:(rel "U" [ v "x" ]) []));
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "repaired definitions take the product" `Quick (fun () ->
+        let d = Definition.empty "T" in
+        let d = Definition.add d (example_3_3 ()) in
+        let d =
+          Definition.add d
+            (Clause.make ~head:(rel "T" [ v "x" ]) [ rel "R" [ v "x" ] ])
+        in
+        Alcotest.(check int) "2 x 1 repaired definitions" 2
+          (List.length (Definition.repaired_definitions d)));
+    Alcotest.test_case "to_string mentions every clause" `Quick (fun () ->
+        let d = Definition.empty "T" in
+        let d =
+          Definition.add d (Clause.make ~head:(rel "T" [ v "x" ]) [ rel "R" [ v "x" ] ])
+        in
+        Alcotest.(check bool) "contains R" true
+          (String.length (Definition.to_string d) > 0));
+  ]
+
+(* Random ground clause generator for property tests. *)
+let clause_gen =
+  let open QCheck.Gen in
+  let const = map (fun c -> Term.str (String.make 1 c)) (char_range 'a' 'e') in
+  let lit =
+    oneof
+      [
+        map2 (fun t1 t2 -> rel "p" [ t1; t2 ]) const const;
+        map (fun t -> rel "q" [ t ]) const;
+        map2 (fun t1 t2 -> Literal.Sim (t1, t2)) const const;
+      ]
+  in
+  let* body = list_size (0 -- 6) lit in
+  let* head_arg = const in
+  return (Clause.make ~head:(rel "t" [ head_arg ]) body)
+
+let clause_arb = QCheck.make ~print:Clause.to_string clause_gen
+
+(* Clauses with well-formed MD repair groups, for properties that need
+   repair literals. *)
+let repair_clause_gen =
+  let open QCheck.Gen in
+  let const = map (fun c -> Term.str (String.make 1 c)) (char_range 'a' 'e') in
+  let* base = clause_gen in
+  let* x = const and* y = const in
+  let* add_group = bool in
+  if (not add_group) || Term.equal x y then return base
+  else begin
+    let sim = Literal.Sim (x, y) in
+    let vx = v "gvx" and vy = v "gvy" in
+    let group =
+      [ sim ]
+      @ md_group ~md:"gm" ~group:99 ~sims_of_left:[ sim ] ~sims_of_right:[ sim ]
+          (x, vx) (y, vy)
+          [ Cond.Csim (x, y) ]
+    in
+    return { base with Clause.body = base.Clause.body @ group }
+  end
+
+let repair_clause_arb = QCheck.make ~print:Clause.to_string repair_clause_gen
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"repaired clauses carry no repair literals"
+         ~count:200 repair_clause_arb (fun c ->
+           List.for_all Clause_repair.is_repaired
+             (Clause_repair.repaired_clauses c)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"cfd_applications keep only MD repair literals" ~count:200
+         repair_clause_arb (fun c ->
+           Clause_repair.cfd_applications c
+           |> List.for_all (fun c' ->
+                  List.for_all
+                    (function
+                      | Literal.Repair { origin = Literal.From_cfd _; _ } ->
+                          false
+                      | _ -> true)
+                    c'.Clause.body)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"subsumption engines agree on clauses with repairs" ~count:200
+         (QCheck.pair repair_clause_arb repair_clause_arb) (fun (c, d) ->
+           let norm = function
+             | Subsumption.Subsumed _ -> `Yes
+             | Subsumption.Not_subsumed -> `No
+             | Subsumption.Budget_exhausted -> `Maybe
+           in
+           match
+             ( norm (Subsumption.subsumes ~budget:500_000 c d),
+               norm (Subsumption.subsumes_naive ~budget:500_000 c d) )
+           with
+           | `Maybe, _ | _, `Maybe -> true
+           | a, b -> a = b));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"clauses with repairs subsume themselves"
+         ~count:200 repair_clause_arb (fun c -> Subsumption.subsumes_bool c c));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"subsumption is reflexive" ~count:200 clause_arb
+         (fun c -> Subsumption.subsumes_bool c c));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"adding a body literal preserves subsumption"
+         ~count:200 clause_arb (fun c ->
+           let extra = rel "p" [ Term.str "zz1"; Term.str "zz2" ] in
+           let d = { c with Clause.body = extra :: c.Clause.body } in
+           Subsumption.subsumes_bool c d));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"head_connected is idempotent" ~count:200 clause_arb
+         (fun c ->
+           let once = Clause.head_connected c in
+           Clause.equal once (Clause.head_connected once)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"canonical is idempotent" ~count:200 clause_arb
+         (fun c ->
+           let once = Clause.canonical c in
+           Clause.equal once (Clause.canonical once)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"repair-free clauses are their own repair"
+         ~count:200 clause_arb (fun c ->
+           match Clause_repair.repaired_clauses c with
+           | [ c' ] ->
+               Clause.equal
+                 (Clause.canonical (Clause.remove_dangling_restrictions c))
+                 (Clause.canonical c')
+           | _ -> false));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"decomposed search agrees with the naive oracle"
+         ~count:300 (QCheck.pair clause_arb clause_arb) (fun (c, d) ->
+           let norm = function
+             | Subsumption.Subsumed _ -> `Yes
+             | Subsumption.Not_subsumed -> `No
+             | Subsumption.Budget_exhausted -> `Maybe
+           in
+           match
+             ( norm (Subsumption.subsumes ~budget:500_000 c d),
+               norm (Subsumption.subsumes_naive ~budget:500_000 c d) )
+           with
+           | `Maybe, _ | _, `Maybe -> true
+           | a, b -> a = b));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"subsumption transitivity (sampled)" ~count:100
+         (QCheck.pair clause_arb clause_arb) (fun (c, d) ->
+           (* c vs c-with-extra vs d: if c <= d and d <= e then c <= e, where
+              e extends d. *)
+           let e = { d with Clause.body = rel "q" [ Term.str "k" ] :: d.Clause.body } in
+           if Subsumption.subsumes_bool c d && Subsumption.subsumes_bool d e then
+             Subsumption.subsumes_bool c e
+           else true));
+  ]
+
+
+let armg_module_tests =
+  let ground =
+    Clause.make
+      ~head:(rel "t" [ s "a" ])
+      [
+        rel "p" [ s "a"; s "b" ];
+        rel "p" [ s "a"; s "c" ];
+        rel "q" [ s "b" ];
+        Literal.Sim (s "b", s "c");
+      ]
+  in
+  let target = Subsumption.prepare ground in
+  [
+    Alcotest.test_case "head_unify binds head variables" `Quick (fun () ->
+        match Subsumption.Armg.head_unify target (rel "t" [ v "x" ]) with
+        | Some th ->
+            Alcotest.(check bool) "x -> a" true
+              (Term.equal (Substitution.apply_term th (v "x")) (s "a"))
+        | None -> Alcotest.fail "expected unification");
+    Alcotest.test_case "head_unify rejects wrong predicate" `Quick (fun () ->
+        Alcotest.(check bool) "none" true
+          (Subsumption.Armg.head_unify target (rel "u" [ v "x" ]) = None));
+    Alcotest.test_case "extend enumerates matching literals" `Quick (fun () ->
+        let th = Substitution.singleton "x" (s "a") in
+        let exts =
+          Subsumption.Armg.extend target th (rel "p" [ v "x"; v "y" ])
+        in
+        Alcotest.(check int) "two candidates" 2 (List.length exts));
+    Alcotest.test_case "extend respects bound variables" `Quick (fun () ->
+        let th = Substitution.of_list [ ("x", s "a"); ("y", s "b") ] in
+        let exts =
+          Subsumption.Armg.extend target th (rel "p" [ v "x"; v "y" ])
+        in
+        Alcotest.(check int) "one candidate" 1 (List.length exts));
+    Alcotest.test_case "check evaluates bound restrictions" `Quick (fun () ->
+        let th = Substitution.of_list [ ("x", s "b"); ("y", s "b") ] in
+        Alcotest.(check bool) "eq sat" true
+          (Subsumption.Armg.check target th (Literal.Eq (v "x", v "y")) = `Sat);
+        Alcotest.(check bool) "neq unsat" true
+          (Subsumption.Armg.check target th (Literal.Neq (v "x", v "y")) = `Unsat);
+        Alcotest.(check bool) "unbound unknown" true
+          (Subsumption.Armg.check target Substitution.empty
+             (Literal.Eq (v "x", v "y"))
+          = `Unknown));
+  ]
+
+let printing_tests =
+  [
+    Alcotest.test_case "terms print distinctly" `Quick (fun () ->
+        Alcotest.(check string) "var" "x" (Term.to_string (v "x"));
+        Alcotest.(check string) "string const quoted" "\"a\"" (Term.to_string (s "a")));
+    Alcotest.test_case "literal printing is readable" `Quick (fun () ->
+        Alcotest.(check string) "rel" "p(x, \"a\")"
+          (Literal.to_string (rel "p" [ v "x"; s "a" ]));
+        Alcotest.(check string) "sim" "x ~ y"
+          (Literal.to_string (Literal.Sim (v "x", v "y"))));
+    Alcotest.test_case "cond printing" `Quick (fun () ->
+        Alcotest.(check string) "true" "true" (Cond.to_string []);
+        Alcotest.(check string) "conjunction" "x = y & x != z"
+          (Cond.to_string [ Cond.Ceq (v "x", v "y"); Cond.Cneq (v "x", v "z") ]));
+    Alcotest.test_case "cond vars and map_terms" `Quick (fun () ->
+        let c = [ Cond.Csim (v "x", v "y"); Cond.Ceq (v "x", s "k") ] in
+        Alcotest.(check (list string)) "vars" [ "x"; "y" ] (Cond.vars c);
+        let c2 = Cond.map_terms (fun t -> if Term.equal t (v "x") then v "z" else t) c in
+        Alcotest.(check bool) "renamed" true
+          (Cond.equal c2 [ Cond.Csim (v "z", v "y"); Cond.Ceq (v "z", s "k") ]));
+    Alcotest.test_case "literal map_terms reaches repair internals" `Quick
+      (fun () ->
+        let r =
+          Literal.Repair
+            {
+              origin = Literal.From_md "m";
+              group = 0;
+              cond = [ Cond.Csim (v "x", v "y") ];
+              subject = v "x";
+              replacement = v "vx";
+              drops = [ Literal.Sim (v "x", v "y") ];
+            }
+        in
+        let renamed =
+          Literal.map_terms (fun t -> if Term.equal t (v "x") then v "z" else t) r
+        in
+        match renamed with
+        | Literal.Repair rr ->
+            Alcotest.(check bool) "subject renamed" true (Term.equal rr.Literal.subject (v "z"));
+            Alcotest.(check bool) "cond renamed" true
+              (Cond.equal rr.Literal.cond [ Cond.Csim (v "z", v "y") ]);
+            Alcotest.(check bool) "drops renamed" true
+              (match rr.Literal.drops with
+              | [ Literal.Sim (a, _) ] -> Term.equal a (v "z")
+              | _ -> false)
+        | _ -> Alcotest.fail "not a repair");
+  ]
+
+
+(* A CFD violation induced by an MD repair: locale(x, USA) and
+   locale(y, Ireland) violate (id -> country) only once the MD unifies x
+   and y. The repair literal's condition references the terms the MD
+   replaces, so it stays inert unless the MD fires first — and in the
+   repair where it does fire, the induced violation gets repaired too. *)
+let induced_violation_clause () =
+  let x = v "x" and y = v "y" in
+  let vx = v "vx" and vy = v "vy" in
+  let usa = s "USA" and irl = s "Ireland" in
+  let sim = Literal.Sim (x, y) in
+  Clause.make
+    ~head:(rel "T" [ x ])
+    ([
+       rel "locale" [ x; usa ];
+       rel "locale" [ y; irl ];
+       sim;
+     ]
+    @ md_group ~md:"ids" ~group:0 ~sims_of_left:[ sim ] ~sims_of_right:[ sim ]
+        (x, vx) (y, vy)
+        [ Cond.Csim (x, y) ]
+    @ [
+        (* Induced CFD repairs: only applicable once x = y holds, which the
+           MD's application establishes (vx = vy). *)
+        Literal.Repair
+          {
+            origin = Literal.From_cfd "id_country";
+            group = 1;
+            cond = [ Cond.Ceq (x, y); Cond.Cneq (usa, irl) ];
+            subject = usa;
+            replacement = irl;
+            drops = [];
+          };
+        Literal.Repair
+          {
+            origin = Literal.From_cfd "id_country";
+            group = 1;
+            cond = [ Cond.Ceq (x, y); Cond.Cneq (usa, irl) ];
+            subject = irl;
+            replacement = usa;
+            drops = [];
+          };
+      ])
+
+let induced_tests =
+  [
+    Alcotest.test_case "induced CFD repair fires only after the MD" `Quick
+      (fun () ->
+        let repaired = Clause_repair.repaired_clauses (induced_violation_clause ()) in
+        (* The MD fires (condition holds), unifying x and y; then the CFD
+           group offers two alternatives (country := USA or Ireland). *)
+        Alcotest.(check int) "two repairs" 2 (List.length repaired);
+        List.iter
+          (fun c ->
+            let countries =
+              List.filter_map
+                (function
+                  | Literal.Rel { pred = "locale"; args } -> Some args.(1)
+                  | _ -> None)
+                c.Clause.body
+            in
+            match countries with
+            | [ a; b ] ->
+                Alcotest.(check bool) "countries unified" true (Term.equal a b)
+            | _ -> Alcotest.fail "expected two locale literals")
+          repaired);
+    Alcotest.test_case "without the MD the induced repair never fires" `Quick
+      (fun () ->
+        (* Strip the MD group: the CFD condition x = y never holds, so the
+           conflicting countries legitimately coexist (they belong to
+           different ids). *)
+        let c = induced_violation_clause () in
+        let body =
+          List.filter
+            (fun l ->
+              match l with
+              | Literal.Repair { origin = Literal.From_md _; _ } -> false
+              | Literal.Eq _ -> false
+              | _ -> true)
+            c.Clause.body
+        in
+        match Clause_repair.repaired_clauses { c with Clause.body } with
+        | [ r ] ->
+            let countries =
+              List.filter_map
+                (function
+                  | Literal.Rel { pred = "locale"; args } -> Some args.(1)
+                  | _ -> None)
+                r.Clause.body
+            in
+            Alcotest.(check bool) "countries stay distinct" true
+              (match countries with
+              | [ a; b ] -> not (Term.equal a b)
+              | _ -> false)
+        | other -> Alcotest.failf "expected 1 repair, got %d" (List.length other));
+  ]
+
+let () =
+  Alcotest.run "logic"
+    [
+      ("clause", clause_tests);
+      ("clause_env", env_tests);
+      ("substitution", substitution_tests);
+      ("subsumption", subsumption_tests);
+      ("clause_repair", repair_tests);
+      ("definition", definition_tests);
+      ("armg", armg_module_tests);
+      ("induced_violations", induced_tests);
+      ("printing", printing_tests);
+      ("properties", qcheck_tests);
+    ]

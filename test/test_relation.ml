@@ -1,0 +1,361 @@
+open Dlearn_relation
+
+let value_tests =
+  [
+    Alcotest.test_case "of_string parses ints" `Quick (fun () ->
+        Alcotest.(check bool) "int" true (Value.equal (Value.of_string "42") (Value.Int 42)));
+    Alcotest.test_case "of_string parses floats" `Quick (fun () ->
+        Alcotest.(check bool)
+          "float" true
+          (Value.equal (Value.of_string "3.5") (Value.Float 3.5)));
+    Alcotest.test_case "of_string keeps strings" `Quick (fun () ->
+        Alcotest.(check bool)
+          "string" true
+          (Value.equal (Value.of_string "Star Wars") (Value.String "Star Wars")));
+    Alcotest.test_case "of_string empty is null" `Quick (fun () ->
+        Alcotest.(check bool) "null" true (Value.is_null (Value.of_string "")));
+    Alcotest.test_case "equality is per constructor" `Quick (fun () ->
+        Alcotest.(check bool)
+          "Int 1 <> String 1" false
+          (Value.equal (Value.Int 1) (Value.String "1")));
+    Alcotest.test_case "compare orders within constructor" `Quick (fun () ->
+        Alcotest.(check bool) "1 < 2" true (Value.compare (Value.Int 1) (Value.Int 2) < 0);
+        Alcotest.(check bool)
+          "a < b" true
+          (Value.compare (Value.String "a") (Value.String "b") < 0));
+    Alcotest.test_case "hash agrees with equal" `Quick (fun () ->
+        Alcotest.(check int)
+          "same hash"
+          (Value.hash (Value.String "x"))
+          (Value.hash (Value.String "x")));
+  ]
+
+let schema_tests =
+  [
+    Alcotest.test_case "position lookup" `Quick (fun () ->
+        let s = Schema.string_attrs "movies" [ "id"; "title"; "year" ] in
+        Alcotest.(check int) "title at 1" 1 (Schema.position s "title");
+        Alcotest.(check int) "arity" 3 (Schema.arity s));
+    Alcotest.test_case "missing attribute raises" `Quick (fun () ->
+        let s = Schema.string_attrs "r" [ "a" ] in
+        Alcotest.check_raises "Not_found" Not_found (fun () ->
+            ignore (Schema.position s "zz")));
+    Alcotest.test_case "duplicate attribute rejected" `Quick (fun () ->
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Schema.string_attrs "r" [ "a"; "a" ]);
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "empty attributes rejected" `Quick (fun () ->
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Schema.make "r" []);
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "comparable by domain" `Quick (fun () ->
+        let s = Schema.make "r" [ { Schema.attr_name = "a"; domain = Schema.Dint } ] in
+        let u = Schema.string_attrs "q" [ "b" ] in
+        Alcotest.(check bool) "int vs string" false (Schema.comparable s 0 u 0);
+        Alcotest.(check bool) "string vs string" true (Schema.comparable u 0 u 0));
+  ]
+
+let tuple_tests =
+  [
+    Alcotest.test_case "project keeps order" `Quick (fun () ->
+        let t = Tuple.of_strings [ "a"; "b"; "c" ] in
+        let p = Tuple.project t [| 2; 0 |] in
+        Alcotest.(check string) "projected" "(c, a)" (Tuple.to_string p));
+    Alcotest.test_case "set is persistent" `Quick (fun () ->
+        let t = Tuple.of_strings [ "a"; "b" ] in
+        let t' = Tuple.set t 0 (Value.String "z") in
+        Alcotest.(check bool) "original intact" true
+          (Value.equal (Tuple.get t 0) (Value.String "a"));
+        Alcotest.(check bool) "copy updated" true
+          (Value.equal (Tuple.get t' 0) (Value.String "z")));
+    Alcotest.test_case "equal tuples share hash" `Quick (fun () ->
+        let a = Tuple.of_strings [ "x"; "7" ] and b = Tuple.of_strings [ "x"; "7" ] in
+        Alcotest.(check bool) "equal" true (Tuple.equal a b);
+        Alcotest.(check int) "hash" (Tuple.hash a) (Tuple.hash b));
+    Alcotest.test_case "compare is lexicographic" `Quick (fun () ->
+        let a = Tuple.of_strings [ "a"; "b" ] and b = Tuple.of_strings [ "a"; "c" ] in
+        Alcotest.(check bool) "a < b" true (Tuple.compare a b < 0));
+  ]
+
+let movies_relation () =
+  let s = Schema.string_attrs "movies" [ "id"; "title"; "year" ] in
+  let r = Relation.create s in
+  Relation.insert_all r
+    [
+      Tuple.of_strings [ "m1"; "Superbad (2007)"; "y2007" ];
+      Tuple.of_strings [ "m2"; "Zoolander (2001)"; "y2001" ];
+      Tuple.of_strings [ "m3"; "Orphanage (2007)"; "y2007" ];
+    ];
+  r
+
+let relation_tests =
+  [
+    Alcotest.test_case "indexed selection" `Quick (fun () ->
+        let r = movies_relation () in
+        let hits = Relation.select_eq r 2 (Value.String "y2007") in
+        Alcotest.(check int) "two 2007 movies" 2 (List.length hits));
+    Alcotest.test_case "duplicates are kept" `Quick (fun () ->
+        let r = movies_relation () in
+        ignore (Relation.insert r (Tuple.of_strings [ "m1"; "Superbad (2007)"; "y2007" ]));
+        Alcotest.(check int) "4 tuples" 4 (Relation.cardinality r);
+        Alcotest.(check int) "two m1 hits" 2
+          (List.length (Relation.select_eq r 0 (Value.String "m1"))));
+    Alcotest.test_case "distinct values" `Quick (fun () ->
+        let r = movies_relation () in
+        Alcotest.(check int) "2 distinct years" 2
+          (List.length (Relation.distinct_values r 2)));
+    Alcotest.test_case "arity mismatch rejected" `Quick (fun () ->
+        let r = movies_relation () in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Relation.insert r (Tuple.of_strings [ "only-one" ]));
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "filter builds fresh indexed relation" `Quick (fun () ->
+        let r = movies_relation () in
+        let dramas = Relation.filter (fun t ->
+            Value.equal (Tuple.get t 2) (Value.String "y2007")) r in
+        Alcotest.(check int) "2 kept" 2 (Relation.cardinality dramas);
+        Alcotest.(check int) "index rebuilt" 1
+          (List.length (Relation.select_eq dramas 0 (Value.String "m1"))));
+    Alcotest.test_case "contains" `Quick (fun () ->
+        let r = movies_relation () in
+        Alcotest.(check bool) "present" true
+          (Relation.contains r (Tuple.of_strings [ "m2"; "Zoolander (2001)"; "y2001" ]));
+        Alcotest.(check bool) "absent" false
+          (Relation.contains r (Tuple.of_strings [ "m2"; "Zoolander"; "y2001" ])));
+    Alcotest.test_case "holds_value" `Quick (fun () ->
+        let r = movies_relation () in
+        Alcotest.(check bool) "yes" true (Relation.holds_value r 0 (Value.String "m3"));
+        Alcotest.(check bool) "no" false (Relation.holds_value r 0 (Value.String "m9")));
+    Alcotest.test_case "map_tuples rewrites" `Quick (fun () ->
+        let r = movies_relation () in
+        let r' = Relation.map_tuples (fun t -> Tuple.set t 2 (Value.String "yX")) r in
+        Alcotest.(check int) "all rewritten" 3
+          (List.length (Relation.select_eq r' 2 (Value.String "yX"))));
+  ]
+
+let database_tests =
+  [
+    Alcotest.test_case "find and mem" `Quick (fun () ->
+        let db = Database.create () in
+        Database.add_relation db (movies_relation ());
+        Alcotest.(check bool) "mem" true (Database.mem db "movies");
+        Alcotest.(check int) "tuples" 3 (Database.total_tuples db));
+    Alcotest.test_case "duplicate name rejected" `Quick (fun () ->
+        let db = Database.create () in
+        Database.add_relation db (movies_relation ());
+        Alcotest.(check bool) "raises" true
+          (try
+             Database.add_relation db (movies_relation ());
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "copy is deep" `Quick (fun () ->
+        let db = Database.create () in
+        Database.add_relation db (movies_relation ());
+        let db' = Database.copy db in
+        ignore
+          (Relation.insert (Database.find db' "movies")
+             (Tuple.of_strings [ "m4"; "New"; "y2020" ]));
+        Alcotest.(check int) "original unchanged" 3
+          (Relation.cardinality (Database.find db "movies"));
+        Alcotest.(check int) "copy grew" 4
+          (Relation.cardinality (Database.find db' "movies")));
+    Alcotest.test_case "relation order preserved" `Quick (fun () ->
+        let db = Database.create () in
+        ignore (Database.create_relation db (Schema.string_attrs "b" [ "x" ]));
+        ignore (Database.create_relation db (Schema.string_attrs "a" [ "x" ]));
+        Alcotest.(check (list string)) "order" [ "b"; "a" ] (Database.relation_names db));
+  ]
+
+let csv_tests =
+  [
+    Alcotest.test_case "parse simple" `Quick (fun () ->
+        Alcotest.(check (list string)) "fields" [ "a"; "b"; "c" ] (Csv.parse_line "a,b,c"));
+    Alcotest.test_case "parse quoted with comma" `Quick (fun () ->
+        Alcotest.(check (list string))
+          "fields" [ "a,b"; "c" ]
+          (Csv.parse_line "\"a,b\",c"));
+    Alcotest.test_case "parse doubled quotes" `Quick (fun () ->
+        Alcotest.(check (list string))
+          "fields" [ "say \"hi\""; "x" ]
+          (Csv.parse_line "\"say \"\"hi\"\"\",x"));
+    Alcotest.test_case "parse empty fields" `Quick (fun () ->
+        Alcotest.(check (list string)) "fields" [ ""; ""; "" ] (Csv.parse_line ",,"));
+    Alcotest.test_case "render quotes when needed" `Quick (fun () ->
+        Alcotest.(check string) "quoted" "\"a,b\",c" (Csv.render_line [ "a,b"; "c" ]));
+    Alcotest.test_case "file round trip" `Quick (fun () ->
+        let r = movies_relation () in
+        let path = Filename.temp_file "dlearn" ".csv" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            Csv.save r path;
+            let r' = Csv.load (Relation.schema r) path in
+            Alcotest.(check int) "same size" (Relation.cardinality r)
+              (Relation.cardinality r');
+            Relation.iter
+              (fun _ t ->
+                Alcotest.(check bool) "tuple present" true (Relation.contains r' t))
+              r));
+  ]
+
+let text_table_tests =
+  [
+    Alcotest.test_case "columns aligned" `Quick (fun () ->
+        let out = Text_table.render ~header:[ "a"; "long" ] [ [ "xxx"; "y" ] ] in
+        let lines = String.split_on_char '\n' out in
+        (match lines with
+        | h :: _ :: row :: _ ->
+            Alcotest.(check int) "same width" (String.length h) (String.length row)
+        | _ -> Alcotest.fail "unexpected shape"));
+    Alcotest.test_case "short rows padded" `Quick (fun () ->
+        let out = Text_table.render ~header:[ "a"; "b" ] [ [ "only" ] ] in
+        Alcotest.(check bool) "renders" true (String.length out > 0));
+    Alcotest.test_case "of_relation truncates" `Quick (fun () ->
+        let r = movies_relation () in
+        let out = Text_table.of_relation ~limit:2 r in
+        Alcotest.(check bool) "mentions more" true
+          (let re = "more tuples" in
+           let rec contains i =
+             i + String.length re <= String.length out
+             && (String.sub out i (String.length re) = re || contains (i + 1))
+           in
+           contains 0));
+  ]
+
+let qcheck_tests =
+  let field_gen =
+    QCheck.Gen.(
+      string_size ~gen:(oneof [ char_range 'a' 'z'; return ','; return '"' ]) (0 -- 8))
+  in
+  let fields_arb =
+    QCheck.make
+      ~print:(fun fs -> String.concat "|" fs)
+      QCheck.Gen.(list_size (1 -- 5) field_gen)
+  in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"csv render/parse round-trips" ~count:300 fields_arb
+         (fun fields ->
+           Csv.parse_line (Csv.render_line fields) = fields));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"value of_string/to_string round-trips ints"
+         ~count:200 QCheck.int (fun i ->
+           Value.equal (Value.of_string (Value.to_string (Value.Int i))) (Value.Int i)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"tuple full projection is identity" ~count:200
+         QCheck.(list_of_size (QCheck.Gen.int_range 1 6) small_string)
+         (fun fields ->
+           let t = Tuple.of_strings fields in
+           Tuple.equal t (Tuple.project t (Array.init (Tuple.arity t) Fun.id))));
+  ]
+
+
+let storage_tests =
+  [
+    Alcotest.test_case "database round-trips through a directory" `Quick
+      (fun () ->
+        let db = Database.create () in
+        Database.add_relation db (movies_relation ());
+        let prices =
+          Database.create_relation db
+            (Schema.make "prices"
+               [
+                 { Schema.attr_name = "id"; domain = Schema.Dstring };
+                 { Schema.attr_name = "amount"; domain = Schema.Dint };
+               ])
+        in
+        ignore
+          (Relation.insert prices
+             (Tuple.make [ Value.String "m1"; Value.Int 12 ]));
+        let dir = Filename.temp_file "dlearn" "" in
+        Sys.remove dir;
+        Fun.protect
+          ~finally:(fun () ->
+            if Sys.file_exists dir then begin
+              Array.iter
+                (fun f -> Sys.remove (Filename.concat dir f))
+                (Sys.readdir dir);
+              Sys.rmdir dir
+            end)
+          (fun () ->
+            Storage.save db dir;
+            let db2 = Storage.load dir in
+            Alcotest.(check int) "same tuples" (Database.total_tuples db)
+              (Database.total_tuples db2);
+            Alcotest.(check (list string)) "same relations"
+              (Database.relation_names db) (Database.relation_names db2);
+            (* Numeric strings stay strings when the domain says string:
+               the movie years were stored in a string column. *)
+            let m = Database.find db2 "movies" in
+            Alcotest.(check bool) "year is a string" true
+              (Relation.fold
+                 (fun _ t acc ->
+                   acc
+                   && (match Tuple.get t 2 with
+                      | Value.String _ -> true
+                      | _ -> false))
+                 m true);
+            (* And ints stay ints. *)
+            let p = Database.find db2 "prices" in
+            Alcotest.(check bool) "amount is an int" true
+              (match Tuple.get (Relation.get p 0) 1 with
+              | Value.Int 12 -> true
+              | _ -> false)));
+    Alcotest.test_case "loading a missing directory fails" `Quick (fun () ->
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Storage.load "/nonexistent-dlearn-db");
+             false
+           with Sys_error _ -> true));
+  ]
+
+
+let stress_tests =
+  [
+    Alcotest.test_case "100k-tuple relation stays responsive" `Slow (fun () ->
+        let r = Relation.create (Schema.string_attrs "big" [ "k"; "v" ]) in
+        let t0 = Unix.gettimeofday () in
+        for i = 0 to 99_999 do
+          ignore
+            (Relation.insert r
+               (Tuple.make
+                  [
+                    Value.String (Printf.sprintf "k%06d" i);
+                    Value.Int (i mod 97);
+                  ]))
+        done;
+        let insert_time = Unix.gettimeofday () -. t0 in
+        Alcotest.(check bool) "bulk insert under 5s" true (insert_time < 5.0);
+        let t1 = Unix.gettimeofday () in
+        for i = 0 to 9_999 do
+          let hits =
+            Relation.select_eq r 0 (Value.String (Printf.sprintf "k%06d" (i * 7)))
+          in
+          Alcotest.(check int) "unique key" 1 (List.length hits)
+        done;
+        let lookup_time = Unix.gettimeofday () -. t1 in
+        Alcotest.(check bool) "10k lookups under 1s" true (lookup_time < 1.0);
+        Alcotest.(check int) "value index groups" 97
+          (List.length (Relation.distinct_values r 1)));
+  ]
+
+let () =
+  Alcotest.run "relation"
+    [
+      ("value", value_tests);
+      ("schema", schema_tests);
+      ("tuple", tuple_tests);
+      ("relation", relation_tests);
+      ("database", database_tests);
+      ("csv", csv_tests);
+      ("text_table", text_table_tests);
+      ("storage", storage_tests);
+      ("stress", stress_tests);
+      ("properties", qcheck_tests);
+    ]

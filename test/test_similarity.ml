@@ -1,0 +1,258 @@
+open Dlearn_similarity
+
+let close ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expected %f, got %f" msg expected actual)
+    true
+    (Float.abs (expected -. actual) < eps)
+
+let swg_tests =
+  [
+    Alcotest.test_case "identical strings score 1" `Quick (fun () ->
+        close "identical" 1.0 (Smith_waterman.similarity "superbad" "superbad"));
+    Alcotest.test_case "substring scores 1" `Quick (fun () ->
+        close "substring" 1.0 (Smith_waterman.similarity "star wars" "star wars: episode iv"));
+    Alcotest.test_case "empty scores 0" `Quick (fun () ->
+        close "empty" 0.0 (Smith_waterman.similarity "" "abc"));
+    Alcotest.test_case "disjoint alphabets score 0" `Quick (fun () ->
+        close "disjoint" 0.0 (Smith_waterman.similarity "aaa" "bbb"));
+    Alcotest.test_case "known small case" `Quick (fun () ->
+        (* Best local alignment of abc/abd is "ab": raw 2.0; normalised by
+           min-length 3. *)
+        close "abc vs abd" (2.0 /. 3.0) (Smith_waterman.similarity "abc" "abd"));
+    Alcotest.test_case "gap cheaper than mismatch here" `Quick (fun () ->
+        (* ac vs abc: align a, open one gap (-0.5), then c: 1 + 1 - 0.5 = 1.5,
+           normalised by 2. *)
+        close "ac vs abc" 0.75 (Smith_waterman.similarity "ac" "abc"));
+    Alcotest.test_case "raw score monotone in common prefix" `Quick (fun () ->
+        Alcotest.(check bool) "longer common prefix scores more" true
+          (Smith_waterman.raw_score "abcdef" "abcxyz"
+          > Smith_waterman.raw_score "abcdef" "abxyzw"));
+  ]
+
+let length_tests =
+  [
+    Alcotest.test_case "ratio of lengths" `Quick (fun () ->
+        close "3/6" 0.5 (Length_similarity.similarity "abc" "abcdef"));
+    Alcotest.test_case "equal lengths" `Quick (fun () ->
+        close "1" 1.0 (Length_similarity.similarity "abc" "xyz"));
+    Alcotest.test_case "both empty" `Quick (fun () ->
+        close "1" 1.0 (Length_similarity.similarity "" ""));
+    Alcotest.test_case "one empty" `Quick (fun () ->
+        close "0" 0.0 (Length_similarity.similarity "" "x"));
+  ]
+
+let levenshtein_tests =
+  [
+    Alcotest.test_case "kitten/sitting = 3" `Quick (fun () ->
+        Alcotest.(check int) "distance" 3 (Levenshtein.distance "kitten" "sitting"));
+    Alcotest.test_case "empty vs word" `Quick (fun () ->
+        Alcotest.(check int) "distance" 4 (Levenshtein.distance "" "word"));
+    Alcotest.test_case "identical" `Quick (fun () ->
+        Alcotest.(check int) "distance" 0 (Levenshtein.distance "same" "same"));
+    Alcotest.test_case "similarity normalised" `Quick (fun () ->
+        close "1 - 3/7" (1.0 -. (3.0 /. 7.0)) (Levenshtein.similarity "kitten" "sitting"));
+  ]
+
+let jaro_tests =
+  [
+    Alcotest.test_case "martha/marhta" `Quick (fun () ->
+        close ~eps:1e-4 "jaro" 0.9444 (Jaro_winkler.jaro "martha" "marhta");
+        close ~eps:1e-4 "jw" 0.9611 (Jaro_winkler.similarity "martha" "marhta"));
+    Alcotest.test_case "dwayne/duane" `Quick (fun () ->
+        close ~eps:1e-4 "jaro" 0.8222 (Jaro_winkler.jaro "dwayne" "duane");
+        close ~eps:1e-4 "jw" 0.8400 (Jaro_winkler.similarity "dwayne" "duane"));
+    Alcotest.test_case "no common characters" `Quick (fun () ->
+        close "0" 0.0 (Jaro_winkler.jaro "abc" "xyz"));
+  ]
+
+let ngram_tests =
+  [
+    Alcotest.test_case "gram count with padding" `Quick (fun () ->
+        (* "ab" padded to "##ab$$": 4 trigrams. *)
+        Alcotest.(check int) "4 trigrams" 4 (List.length (Ngram.grams ~n:3 "ab")));
+    Alcotest.test_case "empty string has no grams" `Quick (fun () ->
+        Alcotest.(check int) "0" 0 (List.length (Ngram.grams ~n:3 "")));
+    Alcotest.test_case "jaccard of identical strings" `Quick (fun () ->
+        close "1" 1.0 (Ngram.jaccard ~n:3 "superbad" "superbad"));
+    Alcotest.test_case "jaccard is case-insensitive" `Quick (fun () ->
+        close "1" 1.0 (Ngram.jaccard ~n:3 "SuperBad" "superbad"));
+    Alcotest.test_case "dice >= jaccard" `Quick (fun () ->
+        let a = "star wars iv" and b = "star wars: episode iv" in
+        Alcotest.(check bool) "dice >= jaccard" true
+          (Ngram.dice ~n:3 a b >= Ngram.jaccard ~n:3 a b));
+  ]
+
+let combined_tests =
+  [
+    Alcotest.test_case "paper operator is the average" `Quick (fun () ->
+        let a = "star wars" and b = "star wars: episode iv - 1977" in
+        close "average"
+          ((Smith_waterman.similarity a b +. Length_similarity.similarity a b) /. 2.0)
+          (Combined.paper a b));
+    Alcotest.test_case "case-insensitive" `Quick (fun () ->
+        close "1" 1.0 (Combined.paper "Superbad" "SUPERBAD"));
+    Alcotest.test_case "heterogeneous titles are similar" `Quick (fun () ->
+        Alcotest.(check bool) "above 0.6" true
+          (Combined.paper "Superbad" "Superbad (2007)" > 0.6));
+    Alcotest.test_case "unrelated titles are dissimilar" `Quick (fun () ->
+        Alcotest.(check bool) "below 0.6" true
+          (Combined.paper "Superbad" "The Orphanage" < 0.6));
+  ]
+
+let sim_index_tests =
+  let titles =
+    [
+      "Star Wars: Episode IV - 1977";
+      "Star Wars: Episode III - 2005";
+      "Superbad (2007)";
+      "Zoolander (2001)";
+      "The Orphanage (2007)";
+    ]
+  in
+  [
+    Alcotest.test_case "exact value found with score 1" `Quick (fun () ->
+        let idx = Sim_index.create titles in
+        match Sim_index.query idx ~km:1 ~threshold:0.9 "Superbad (2007)" with
+        | [ (v, s) ] ->
+            Alcotest.(check string) "value" "Superbad (2007)" v;
+            close "score" 1.0 s
+        | other -> Alcotest.failf "expected 1 hit, got %d" (List.length other));
+    Alcotest.test_case "ambiguous match returns both episodes" `Quick (fun () ->
+        let idx = Sim_index.create titles in
+        let hits = Sim_index.query idx ~km:5 ~threshold:0.5 "Star Wars" in
+        Alcotest.(check bool) "at least 2" true (List.length hits >= 2);
+        let names = List.map fst hits in
+        Alcotest.(check bool) "episode IV found" true
+          (List.mem "Star Wars: Episode IV - 1977" names);
+        Alcotest.(check bool) "episode III found" true
+          (List.mem "Star Wars: Episode III - 2005" names));
+    Alcotest.test_case "km cuts the result list" `Quick (fun () ->
+        let idx = Sim_index.create titles in
+        let hits = Sim_index.query idx ~km:1 ~threshold:0.3 "Star Wars" in
+        Alcotest.(check int) "1 hit" 1 (List.length hits));
+    Alcotest.test_case "results sorted by score" `Quick (fun () ->
+        let idx = Sim_index.create titles in
+        let hits = Sim_index.query idx ~km:5 ~threshold:0.2 "Superbad" in
+        let scores = List.map snd hits in
+        Alcotest.(check bool) "descending" true
+          (List.sort (fun a b -> Float.compare b a) scores = scores));
+    Alcotest.test_case "blocked query equals brute force on titles" `Quick (fun () ->
+        let idx = Sim_index.create titles in
+        List.iter
+          (fun q ->
+            let a = Sim_index.query idx ~km:5 ~threshold:0.6 q in
+            let b = Sim_index.query_brute idx ~km:5 ~threshold:0.6 q in
+            Alcotest.(check (list (pair string (float 1e-9)))) ("query " ^ q) b a)
+          [ "Star Wars"; "Superbad"; "Zoolander"; "Orphanage" ]);
+    Alcotest.test_case "match_pairs links columns" `Quick (fun () ->
+        let pairs =
+          Sim_index.match_pairs ~km:2 ~threshold:0.5 [ "Star Wars"; "Superbad" ]
+            titles
+        in
+        Alcotest.(check bool) "nonempty" true (List.length pairs >= 2);
+        List.iter
+          (fun (_, _, s) ->
+            Alcotest.(check bool) "score above threshold" true (s >= 0.5))
+          pairs);
+    Alcotest.test_case "deduplicates stored values" `Quick (fun () ->
+        let idx = Sim_index.create [ "same"; "same"; "same" ] in
+        Alcotest.(check int) "1 distinct" 1 (Sim_index.size idx));
+  ]
+
+let measure_tests =
+  [
+    Alcotest.test_case "index honours the configured measure" `Quick (fun () ->
+        (* Under Levenshtein, "abcd" vs "abcx" scores 0.75; the paper
+           operator scores it differently — check the measure is actually
+           threaded through the index. *)
+        let values = [ "abcd" ] in
+        let lev = Sim_index.create ~measure:Combined.Levenshtein values in
+        let hits = Sim_index.query lev ~km:1 ~threshold:0.74 "abcx" in
+        Alcotest.(check int) "levenshtein accepts at 0.74" 1 (List.length hits);
+        let jac = Sim_index.create ~measure:(Combined.Ngram_jaccard 3) values in
+        let hits' = Sim_index.query jac ~km:1 ~threshold:0.74 "abcx" in
+        Alcotest.(check int) "trigram jaccard rejects at 0.74" 0
+          (List.length hits'));
+    Alcotest.test_case "measure names are distinct" `Quick (fun () ->
+        let names =
+          List.map Combined.measure_name
+            [
+              Combined.Paper; Combined.Smith_waterman; Combined.Levenshtein;
+              Combined.Jaro_winkler; Combined.Ngram_jaccard 3;
+            ]
+        in
+        Alcotest.(check int) "5 distinct" 5
+          (List.length (List.sort_uniq String.compare names)));
+  ]
+
+let qcheck_tests =
+  let word =
+    QCheck.make
+      ~print:(fun s -> s)
+      QCheck.Gen.(string_size ~gen:(char_range 'a' 'e') (0 -- 10))
+  in
+  let pair_words = QCheck.pair word word in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"swg similarity is symmetric" ~count:300 pair_words
+         (fun (a, b) ->
+           Float.abs (Smith_waterman.similarity a b -. Smith_waterman.similarity b a)
+           < 1e-9));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"swg similarity within [0,1]" ~count:300 pair_words
+         (fun (a, b) ->
+           let s = Smith_waterman.similarity a b in
+           s >= 0.0 && s <= 1.0));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"levenshtein symmetric" ~count:300 pair_words
+         (fun (a, b) -> Levenshtein.distance a b = Levenshtein.distance b a));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"levenshtein triangle inequality" ~count:200
+         (QCheck.triple word word word) (fun (a, b, c) ->
+           Levenshtein.distance a c
+           <= Levenshtein.distance a b + Levenshtein.distance b c));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"levenshtein identity of indiscernibles" ~count:300
+         pair_words (fun (a, b) -> Levenshtein.distance a b = 0 = (a = b)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"combined similarity bounded for all measures"
+         ~count:200 pair_words (fun (a, b) ->
+           List.for_all
+             (fun m ->
+               let s = Combined.similarity ~measure:m a b in
+               s >= 0.0 && s <= 1.0)
+             [
+               Combined.Paper;
+               Combined.Smith_waterman;
+               Combined.Levenshtein;
+               Combined.Jaro_winkler;
+               Combined.Ngram_jaccard 3;
+             ]));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"jaro-winkler >= jaro" ~count:300 pair_words
+         (fun (a, b) ->
+           Jaro_winkler.similarity a b >= Jaro_winkler.jaro a b -. 1e-9));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"blocked query is a subset of brute force" ~count:100
+         (QCheck.pair word (QCheck.list_of_size (QCheck.Gen.int_range 1 8) word))
+         (fun (q, vs) ->
+           let idx = Sim_index.create vs in
+           let blocked = Sim_index.query idx ~km:10 ~threshold:0.5 q in
+           let brute = Sim_index.query_brute idx ~km:10 ~threshold:0.5 q in
+           List.for_all (fun (v, _) -> List.mem_assoc v brute) blocked));
+  ]
+
+let () =
+  Alcotest.run "similarity"
+    [
+      ("smith_waterman", swg_tests);
+      ("length", length_tests);
+      ("levenshtein", levenshtein_tests);
+      ("jaro_winkler", jaro_tests);
+      ("ngram", ngram_tests);
+      ("combined", combined_tests);
+      ("sim_index", sim_index_tests);
+      ("measures", measure_tests);
+      ("properties", qcheck_tests);
+    ]
