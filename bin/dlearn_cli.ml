@@ -246,6 +246,82 @@ let profile_cmd =
        ~doc:"Discover matching dependencies and FDs in a workload.")
     Term.(const run $ dataset_arg $ n_arg $ pair_arg)
 
+(* dlearn check *)
+let check_cmd =
+  let clause_arg =
+    let doc = "A clause to lint and typecheck (repeatable)." in
+    Arg.(value & opt_all string [] & info [ "clause"; "c" ] ~docv:"CLAUSE" ~doc)
+  in
+  let json_arg =
+    let doc = "Print diagnostics as a JSON array." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let bad_cfd_arg =
+    let doc =
+      "Seed a deliberately unsatisfiable CFD pair into the constraint set \
+       (two constant right-hand sides over the same column), to \
+       demonstrate the analyzer."
+    in
+    Arg.(value & flag & info [ "seed-bad-cfd" ] ~doc)
+  in
+  let inconsistent_pair db =
+    (* Two CFDs forcing one column to equal two distinct constants. *)
+    let rel =
+      match
+        List.find_opt
+          (fun r -> Schema.arity (Relation.schema r) >= 2)
+          (Database.relations db)
+      with
+      | Some r -> r
+      | None -> raise (Invalid_argument "no relation with arity >= 2")
+    in
+    let schema = Relation.schema rel in
+    let lhs_attr = Schema.attr_name schema 0 in
+    let rhs_attr = Schema.attr_name schema 1 in
+    let open Dlearn_constraints in
+    List.map
+      (fun (id, const) ->
+        Cfd.make ~id ~relation:(Relation.name rel)
+          ~lhs:[ (lhs_attr, Cfd.Wildcard) ]
+          ~rhs:(rhs_attr, Cfd.Const (Value.String const)))
+      [ ("bad_cfd_a", "b1"); ("bad_cfd_b", "b2") ]
+  in
+  let run dataset n clauses json bad_cfd =
+    let open Dlearn_analysis in
+    let w = make_dataset ?n dataset in
+    let cfds =
+      if bad_cfd then w.Workload.cfds @ inconsistent_pair w.Workload.db
+      else w.Workload.cfds
+    in
+    let target = w.Workload.config.Config.target in
+    let constraint_ds =
+      Analyzer.check_constraints w.Workload.db ~mds:w.Workload.mds ~cfds
+    in
+    let clause_ds =
+      List.concat_map
+        (fun text ->
+          match Dlearn_logic.Parser.clause text with
+          | Error msg ->
+              [
+                Diagnostic.error ~code:"DL001" ~subject:Diagnostic.General
+                  ~witness:text ("clause does not parse: " ^ msg);
+              ]
+          | Ok c -> Analyzer.check_clause w.Workload.db ~target c)
+        clauses
+    in
+    let diagnostics = constraint_ds @ clause_ds in
+    if json then print_endline (Diagnostic.report_to_json diagnostics)
+    else print_endline (Diagnostic.report_to_string diagnostics);
+    if Diagnostic.has_errors diagnostics then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Statically analyse a workload's constraints (and optional \
+          clauses); exit 1 when any DL0xx error is found.")
+    Term.(
+      const run $ dataset_arg $ n_arg $ clause_arg $ json_arg $ bad_cfd_arg)
+
 (* dlearn export *)
 let export_cmd =
   let dir_arg =
@@ -274,7 +350,7 @@ let main =
   Cmd.group info
     [
       datasets_cmd; learn_cmd; show_cmd; query_cmd; explain_cmd; profile_cmd;
-      export_cmd;
+      check_cmd; export_cmd;
     ]
 
 let () = exit (Cmd.eval main)

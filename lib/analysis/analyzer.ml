@@ -1,0 +1,18 @@
+let check_clause db ?target clause =
+  Clause_lint.check clause @ Schema_check.check db ?target clause
+
+let check_constraints db ~mds ~cfds = Constraint_check.check db ~mds ~cfds
+
+let preflight db ?target ~mds ~cfds clauses =
+  check_constraints db ~mds ~cfds
+  @ List.concat_map (check_clause db ?target) clauses
+
+exception Rejected of Diagnostic.t list
+
+let () =
+  Printexc.register_printer (function
+    | Rejected ds ->
+        Some ("preflight failed:\n" ^ Diagnostic.report_to_string ds)
+    | _ -> None)
+
+let reject_on_errors ds = if Diagnostic.has_errors ds then raise (Rejected ds)

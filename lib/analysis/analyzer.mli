@@ -1,0 +1,42 @@
+(** The preflight static analyzer: one entry point per input kind, plus
+    the combined preflight the learner runs before bottom-clause
+    construction.
+
+    DLearn's guarantees (§3–§4) assume well-formed declarative inputs:
+    satisfiable CFD sets, MDs over existing string attributes, safe and
+    head-connected clauses. These checks are decidable and cheap, so they
+    run statically — before any learning — and report structured
+    {!Diagnostic.t} values instead of dying mid-run on [Not_found]. *)
+
+(** [check_clause db ?target c] runs the clause lints
+    ({!Clause_lint.check}) and the schema typechecker
+    ({!Schema_check.check}) on one clause. *)
+val check_clause :
+  Dlearn_relation.Database.t ->
+  ?target:Dlearn_relation.Schema.t ->
+  Dlearn_logic.Clause.t ->
+  Diagnostic.t list
+
+(** [check_constraints db ~mds ~cfds] runs the constraint-set analysis
+    ({!Constraint_check.check}). *)
+val check_constraints :
+  Dlearn_relation.Database.t ->
+  mds:Dlearn_constraints.Md.t list ->
+  cfds:Dlearn_constraints.Cfd.t list ->
+  Diagnostic.t list
+
+(** [preflight db ?target ~mds ~cfds clauses] checks the constraints and
+    every clause. *)
+val preflight :
+  Dlearn_relation.Database.t ->
+  ?target:Dlearn_relation.Schema.t ->
+  mds:Dlearn_constraints.Md.t list ->
+  cfds:Dlearn_constraints.Cfd.t list ->
+  Dlearn_logic.Clause.t list ->
+  Diagnostic.t list
+
+exception Rejected of Diagnostic.t list
+
+(** [reject_on_errors ds] raises [Rejected ds] when [ds] contains an
+    [Error]; warnings and hints pass. *)
+val reject_on_errors : Diagnostic.t list -> unit

@@ -1,0 +1,105 @@
+open Dlearn_logic
+
+let subject_of clause = Diagnostic.Clause_head (Clause.head_pred clause)
+
+(* DL101: every head variable must occur in a body schema atom. *)
+let unsafe_head_vars clause =
+  let subject = subject_of clause in
+  let body_rel_vars =
+    List.concat_map Literal.vars (Clause.rel_body clause)
+    |> List.sort_uniq String.compare
+  in
+  Literal.vars clause.Clause.head
+  |> List.filter (fun v -> not (List.mem v body_rel_vars))
+  |> List.map (fun v ->
+         Diagnostic.error ~code:"DL101" ~subject ~witness:v
+           (Printf.sprintf
+              "head variable %s is not bound by any body schema atom (the \
+               clause is not range-restricted)"
+              v))
+
+(* DL102: literals head_connected would drop. *)
+let disconnected_literals clause =
+  let subject = subject_of clause in
+  let kept = (Clause.head_connected clause).Clause.body in
+  List.filter (fun l -> not (List.memq l kept)) clause.Clause.body
+  |> List.map (fun l ->
+         Diagnostic.warning ~code:"DL102" ~subject
+           ~witness:(Literal.to_string l)
+           "body literal shares no variable chain with the head; \
+            generalisation would silently drop it")
+
+(* DL103: variables with a single occurrence. *)
+let singleton_vars clause =
+  let subject = subject_of clause in
+  let occurrences = Hashtbl.create 16 in
+  let bump t =
+    match t with
+    | Term.Var v ->
+        Hashtbl.replace occurrences v
+          (1 + Option.value ~default:0 (Hashtbl.find_opt occurrences v))
+    | Term.Const _ -> ()
+  in
+  List.iter
+    (fun l -> List.iter bump (Literal.terms l))
+    (clause.Clause.head :: clause.Clause.body);
+  let head_vars = Literal.vars clause.Clause.head in
+  Hashtbl.fold
+    (fun v n acc ->
+      if n = 1 && not (List.mem v head_vars) then
+        Diagnostic.warning ~code:"DL103" ~subject ~witness:v
+          (Printf.sprintf
+             "variable %s occurs exactly once; it constrains nothing" v)
+        :: acc
+      else acc)
+    occurrences []
+  |> List.sort compare
+
+(* DL104: duplicated body literals. *)
+let duplicate_literals clause =
+  let subject = subject_of clause in
+  let rec go seen = function
+    | [] -> []
+    | l :: rest ->
+        if List.exists (Literal.equal l) seen then
+          Diagnostic.warning ~code:"DL104" ~subject
+            ~witness:(Literal.to_string l) "duplicate body literal"
+          :: go seen rest
+        else go (l :: seen) rest
+  in
+  go [] clause.Clause.body
+
+(* DL105/DL106: trivially true / trivially false restriction literals. *)
+let trivial_restrictions clause =
+  let subject = subject_of clause in
+  List.filter_map
+    (fun l ->
+      let tautology () =
+        Some
+          (Diagnostic.warning ~code:"DL105" ~subject
+             ~witness:(Literal.to_string l)
+             "restriction literal is always satisfied")
+      in
+      let contradiction () =
+        Some
+          (Diagnostic.error ~code:"DL106" ~subject
+             ~witness:(Literal.to_string l)
+             "restriction literal can never be satisfied; the clause \
+              covers nothing")
+      in
+      match l with
+      | Literal.Eq (a, b) when Term.equal a b -> tautology ()
+      | Literal.Sim (a, b) when Term.equal a b -> tautology ()
+      | Literal.Neq (a, b) when Term.equal a b -> contradiction ()
+      | Literal.Eq (Term.Const a, Term.Const b)
+        when not (Dlearn_relation.Value.equal a b) ->
+          contradiction ()
+      | _ -> None)
+    clause.Clause.body
+
+let check clause =
+  unsafe_head_vars clause
+  @ disconnected_literals clause
+  @ singleton_vars clause
+  @ duplicate_literals clause
+  @ trivial_restrictions clause

@@ -1,0 +1,23 @@
+(** Clause lints (analyzer pass 1).
+
+    Structural checks on one clause, independent of the database catalog:
+
+    - [DL101] (error): unsafe head variable — a head variable that occurs
+      in no body schema atom. θ-subsumption and coverage are only
+      meaningful for range-restricted clauses (§3.2).
+    - [DL102] (warning): body literal not head-connected — the literal
+      {!Dlearn_logic.Clause.head_connected} would silently drop; reported
+      with the dropped literal as witness.
+    - [DL103] (warning): singleton variable — a variable with exactly one
+      occurrence in the clause; it constrains nothing and usually spells a
+      typo.
+    - [DL104] (warning): duplicate body literal.
+    - [DL105] (warning): tautological restriction literal ([t = t],
+      [t ~ t]) — always satisfied, adds no information.
+    - [DL106] (error): contradictory restriction literal ([t != t], or an
+      equality of two distinct constants) — the clause can cover nothing.
+
+    Repair literals are ignored by these lints (they are machine-built and
+    validated by construction). *)
+
+val check : Dlearn_logic.Clause.t -> Diagnostic.t list

@@ -1,0 +1,35 @@
+(** Constraint-set analysis (analyzer pass 3).
+
+    Checks the declared MDs and CFDs against the database catalog and
+    against each other:
+
+    - [DL301] (error): CFD over a relation absent from the catalog.
+    - [DL302] (error): CFD attribute missing from its relation's schema.
+    - [DL303] (warning): CFD pattern constant whose type conflicts with
+      the attribute domain — the pattern can never match.
+    - [DL304] (error): unsatisfiable CFD set — no non-empty instance can
+      satisfy it (Bohannon-style one-tuple reduction, see
+      {!Dlearn_constraints.Consistency}); the witness is a minimal
+      conflicting core with its patterns.
+    - [DL305] (warning): redundant CFD — subsumed by another CFD with the
+      same conclusion over a subset of its left-hand side with patterns at
+      least as general.
+    - [DL306] (warning): duplicate constraint identifier.
+    - [DL307] (hint): constraint over an empty relation — vacuously
+      satisfied.
+    - [DL310] (error): MD over a relation absent from the catalog.
+    - [DL311] (error): MD attribute missing from its relation's schema.
+    - [DL312] (error): MD attribute that is not string-typed — [≈] is
+      defined on string domains (§2.2).
+    - [DL313] (error): MD threshold override outside (0, 1].
+    - [DL314] (warning): cyclic MD interaction — a cycle of two or more
+      MDs where applying one modifies attributes another compares;
+      enforcement may cascade across the cycle. (An MD re-triggering
+      itself is the normal, idempotent merge semantics and is not
+      reported.) *)
+
+val check :
+  Dlearn_relation.Database.t ->
+  mds:Dlearn_constraints.Md.t list ->
+  cfds:Dlearn_constraints.Cfd.t list ->
+  Diagnostic.t list

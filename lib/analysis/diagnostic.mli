@@ -1,0 +1,67 @@
+(** Structured diagnostics for the preflight static analyzer.
+
+    Every finding carries a stable error code ([DL0xx], see
+    [docs/ANALYSIS.md] for the full table), a severity, the subject it is
+    about (a constraint, a clause, an attribute, ...), a human-readable
+    message and, when the analyzer can produce one, a concrete witness —
+    e.g. the minimal set of CFDs whose patterns conflict. Diagnostics are
+    plain data: the CLI renders them prettily or as JSON, the learner
+    embeds the rendered report in its abort message. *)
+
+type severity =
+  | Error  (** the run would crash or be meaningless; preflight aborts *)
+  | Warning  (** very likely a mistake, but the semantics are defined *)
+  | Hint  (** stylistic or vacuous-input notice *)
+
+type subject =
+  | Constraint of string  (** an MD or CFD, by identifier *)
+  | Clause_head of string  (** a clause, by its head predicate *)
+  | Attribute of {
+      relation : string;
+      attr : string;
+    }
+  | Relation of string
+  | General
+
+type t = {
+  code : string;  (** stable identifier, e.g. ["DL304"] *)
+  severity : severity;
+  subject : subject;
+  message : string;
+  witness : string option;
+      (** concrete evidence, e.g. the conflicting CFD patterns *)
+}
+
+val error : code:string -> subject:subject -> ?witness:string -> string -> t
+
+val warning : code:string -> subject:subject -> ?witness:string -> string -> t
+
+val hint : code:string -> subject:subject -> ?witness:string -> string -> t
+
+val severity_to_string : severity -> string
+
+val subject_to_string : subject -> string
+
+(** [sort ds] orders by decreasing severity, then code, then subject —
+    the rendering order of reports. *)
+val sort : t list -> t list
+
+val has_errors : t list -> bool
+
+val count : severity -> t list -> int
+
+val pp : Format.formatter -> t -> unit
+
+(** [pp_report fmt ds] prints every diagnostic (sorted) followed by a
+    one-line summary ["N error(s), M warning(s), K hint(s)"]; prints
+    ["no diagnostics"] on an empty list. *)
+val pp_report : Format.formatter -> t list -> unit
+
+val report_to_string : t list -> string
+
+(** [to_json d] is a one-object JSON rendering with fields [code],
+    [severity], [subject], [message] and (when present) [witness]. *)
+val to_json : t -> string
+
+(** [report_to_json ds] is a JSON array of {!to_json} objects, sorted. *)
+val report_to_json : t list -> string

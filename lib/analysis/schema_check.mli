@@ -1,0 +1,30 @@
+(** Schema typechecking of clauses (analyzer pass 2).
+
+    Validates every schema atom of a clause against the database catalog,
+    and the restriction literals against the attribute domains its
+    variables are drawn from:
+
+    - [DL201] (error): unknown predicate — a body atom over a relation
+      absent from the catalog.
+    - [DL202] (error): arity mismatch between an atom and its relation's
+      schema.
+    - [DL203] (error): a constant argument whose type conflicts with the
+      attribute domain (e.g. a string constant in an integer column).
+    - [DL204] (error): a similarity literal over a non-string operand —
+      [≈] is defined on string domains only (§2.2).
+    - [DL205] (error): a variable used at attributes of conflicting
+      domains; equality across domains never holds, so the clause covers
+      nothing.
+    - [DL206] (hint): the head predicate differs from the configured
+      target relation.
+
+    The head atom is validated against [target] when provided; predicates
+    matching [target]'s name are resolved against it rather than the
+    catalog (the target relation typically holds the training examples and
+    is not part of the background database). *)
+
+val check :
+  Dlearn_relation.Database.t ->
+  ?target:Dlearn_relation.Schema.t ->
+  Dlearn_logic.Clause.t ->
+  Diagnostic.t list

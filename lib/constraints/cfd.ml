@@ -27,12 +27,24 @@ let fd ~id ~relation xs a =
 let matches p v =
   match p with Wildcard -> true | Const c -> Value.equal c v
 
+let position_exn fn t schema attr =
+  match Schema.position schema attr with
+  | pos -> pos
+  | exception Not_found ->
+      invalid_arg
+        (Printf.sprintf
+           "Cfd.%s: CFD %s references attribute %s, which relation %s \
+            (schema %s) does not have"
+           fn t.id attr t.relation (Schema.name schema))
+
 let lhs_positions t schema =
-  List.map (fun (attr, p) -> (Schema.position schema attr, p)) t.lhs
+  List.map
+    (fun (attr, p) -> (position_exn "lhs_positions" t schema attr, p))
+    t.lhs
 
 let rhs_position t schema =
   let attr, p = t.rhs in
-  (Schema.position schema attr, p)
+  (position_exn "rhs_position" t schema attr, p)
 
 let pair_violates t schema t1 t2 =
   let lhs = lhs_positions t schema in

@@ -37,9 +37,12 @@ val fd : id:string -> relation:string -> string list -> string -> t
 val matches : pattern -> Dlearn_relation.Value.t -> bool
 
 (** [lhs_positions t schema] resolves attribute names to positions.
-    @raise Not_found if an attribute is missing from [schema]. *)
+    @raise Invalid_argument naming the CFD, the missing attribute and the
+    relation when an attribute is absent from [schema]. *)
 val lhs_positions : t -> Dlearn_relation.Schema.t -> (int * pattern) list
 
+(** [rhs_position t schema] resolves the right-hand attribute.
+    @raise Invalid_argument as for {!lhs_positions}. *)
 val rhs_position : t -> Dlearn_relation.Schema.t -> int * pattern
 
 (** [pair_violates t schema t1 t2] holds when the tuple pair violates the

@@ -1,8 +1,7 @@
 open Dlearn_relation
 
-let single_relation_consistent (cfds : Cfd.t list) =
-  match cfds with
-  | [] -> invalid_arg "Consistency.single_relation_consistent: empty set"
+let check_same_relation name = function
+  | [] -> invalid_arg (Printf.sprintf "Consistency.%s: empty set" name)
   | first :: rest ->
       if
         not
@@ -11,54 +10,76 @@ let single_relation_consistent (cfds : Cfd.t list) =
              rest)
       then
         invalid_arg
-          "Consistency.single_relation_consistent: CFDs over several relations";
-      (* Relevant attributes and their candidate values: every pattern
-         constant mentioned for the attribute, plus one fresh value that
-         differs from all of them. *)
-      let attrs =
-        List.concat_map
-          (fun (c : Cfd.t) -> fst c.Cfd.rhs :: List.map fst c.Cfd.lhs)
-          cfds
-        |> List.sort_uniq String.compare
-      in
-      let candidates attr =
-        let consts =
-          List.concat_map
-            (fun (c : Cfd.t) ->
-              List.filter_map
-                (fun (a, p) ->
-                  match p with
-                  | Cfd.Const v when String.equal a attr -> Some v
-                  | _ -> None)
-                (c.Cfd.rhs :: c.Cfd.lhs))
-            cfds
-          |> List.sort_uniq Value.compare
-        in
-        consts @ [ Value.String ("\xe2\x8a\xa5other:" ^ attr) ]
-      in
-      let tuple_ok assignment =
-        List.for_all
-          (fun (c : Cfd.t) ->
-            let value attr = List.assoc attr assignment in
-            let lhs_matches =
-              List.for_all
-                (fun (a, p) -> Cfd.matches p (value a))
-                c.Cfd.lhs
-            in
-            let rhs_attr, rhs_pat = c.Cfd.rhs in
-            (not lhs_matches) || Cfd.matches rhs_pat (value rhs_attr))
-          cfds
-      in
-      let rec search assignment = function
-        | [] -> tuple_ok assignment
-        | attr :: more ->
-            List.exists
-              (fun v -> search ((attr, v) :: assignment) more)
-              (candidates attr)
-      in
-      search [] attrs
+          (Printf.sprintf "Consistency.%s: CFDs over several relations" name)
 
-let consistent cfds =
+(* The one-tuple reduction: satisfiable iff some assignment of the
+   relevant attributes — pattern constants plus one fresh value each —
+   satisfies every CFD. *)
+let satisfiable_by_one_tuple (cfds : Cfd.t list) =
+  let attrs =
+    List.concat_map
+      (fun (c : Cfd.t) -> fst c.Cfd.rhs :: List.map fst c.Cfd.lhs)
+      cfds
+    |> List.sort_uniq String.compare
+  in
+  let candidates attr =
+    let consts =
+      List.concat_map
+        (fun (c : Cfd.t) ->
+          List.filter_map
+            (fun (a, p) ->
+              match p with
+              | Cfd.Const v when String.equal a attr -> Some v
+              | _ -> None)
+            (c.Cfd.rhs :: c.Cfd.lhs))
+        cfds
+      |> List.sort_uniq Value.compare
+    in
+    consts @ [ Value.String ("\xe2\x8a\xa5other:" ^ attr) ]
+  in
+  let tuple_ok assignment =
+    List.for_all
+      (fun (c : Cfd.t) ->
+        let value attr = List.assoc attr assignment in
+        let lhs_matches =
+          List.for_all (fun (a, p) -> Cfd.matches p (value a)) c.Cfd.lhs
+        in
+        let rhs_attr, rhs_pat = c.Cfd.rhs in
+        (not lhs_matches) || Cfd.matches rhs_pat (value rhs_attr))
+      cfds
+  in
+  let rec search assignment = function
+    | [] -> tuple_ok assignment
+    | attr :: more ->
+        List.exists
+          (fun v -> search ((attr, v) :: assignment) more)
+          (candidates attr)
+  in
+  search [] attrs
+
+let single_relation_consistent cfds =
+  check_same_relation "single_relation_consistent" cfds;
+  satisfiable_by_one_tuple cfds
+
+(* Shrink an inconsistent set to a minimal core: drop every CFD whose
+   removal keeps the remainder inconsistent. Linear in |cfds| consistency
+   checks — fine at constraint-set sizes. *)
+let minimize cfds =
+  let rec shrink kept = function
+    | [] -> List.rev kept
+    | c :: rest ->
+        let without = List.rev_append kept rest in
+        if without <> [] && not (satisfiable_by_one_tuple without) then
+          shrink kept rest
+        else shrink (c :: kept) rest
+  in
+  shrink [] cfds
+
+let single_relation_core cfds =
+  check_same_relation "single_relation_core" cfds;
+  if satisfiable_by_one_tuple cfds then None else Some (minimize cfds)
+
+let group_by_relation cfds =
   let by_relation = Hashtbl.create 8 in
   List.iter
     (fun (c : Cfd.t) ->
@@ -67,6 +88,11 @@ let consistent cfds =
       in
       Hashtbl.replace by_relation c.Cfd.relation (c :: existing))
     cfds;
-  Hashtbl.fold
-    (fun _ group acc -> acc && single_relation_consistent group)
-    by_relation true
+  Hashtbl.fold (fun rel group acc -> (rel, List.rev group) :: acc) by_relation []
+  |> List.sort (fun (r1, _) (r2, _) -> String.compare r1 r2)
+
+let inconsistent_cores cfds =
+  group_by_relation cfds
+  |> List.filter_map (fun (_, group) -> single_relation_core group)
+
+let consistent cfds = inconsistent_cores cfds = []

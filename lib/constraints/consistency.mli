@@ -1,7 +1,10 @@
 (** Consistency of CFD sets (§2.3).
 
     A set of CFDs over one relation can be unsatisfiable by any non-empty
-    instance — e.g. [(A → B, a1 || b1)] and [(B → A, b1 || a2)]. By the
+    instance — e.g. [(A → B, - || b1)] and [(A → B, - || b2)] with
+    [b1 ≠ b2]: every tuple's [B] would have to equal both constants.
+    (Note that pairs of the shape [(A → B, a1 || b1)], [(B → A, b1 || a2)]
+    are {e satisfiable}: the tuple [(a2, b1)] satisfies both.) By the
     classical reduction (Bohannon et al. 2007), a CFD set over a single
     relation is consistent iff {e one} tuple can satisfy every CFD, where
     a lone tuple [t] violates [(X → A, tp)] exactly when [t\[X\] ≍ tp\[X\]]
@@ -18,3 +21,15 @@ val single_relation_consistent : Cfd.t list -> bool
     CFDs over different relations never interact. An empty set is
     consistent. *)
 val consistent : Cfd.t list -> bool
+
+(** [single_relation_core cfds] is [None] when the set is consistent, and
+    otherwise [Some core] where [core] is a minimal inconsistent subset
+    (removing any one CFD from it restores satisfiability) — the witness
+    the static analyzer reports. Preconditions as for
+    {!single_relation_consistent}. *)
+val single_relation_core : Cfd.t list -> Cfd.t list option
+
+(** [inconsistent_cores cfds] groups the CFDs by relation and returns one
+    minimal inconsistent core per unsatisfiable group, ordered by relation
+    name; the empty list means the whole set is consistent. *)
+val inconsistent_cores : Cfd.t list -> Cfd.t list list

@@ -17,6 +17,7 @@ type t = {
   repair_state_cap : int;
   repair_result_cap : int;
   cfd_rounds : int;
+  allow_dirty_constraints : bool;
   seed : int;
 }
 
@@ -40,6 +41,7 @@ let default ~target =
     repair_state_cap = 512;
     repair_result_cap = 16;
     cfd_rounds = 2;
+    allow_dirty_constraints = false;
     seed = 42;
   }
 

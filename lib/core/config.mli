@@ -40,6 +40,10 @@ type t = {
       (** violation-detection rounds in bottom clauses: round 1 finds the
           violations present in the clause, later rounds the ones induced
           by hypothetical right-hand-side unifications *)
+  allow_dirty_constraints : bool;
+      (** skip the static constraint preflight the learner runs before
+          bottom-clause construction; with malformed constraints the
+          paper's guarantees no longer hold and runs may fail mid-epoch *)
   seed : int;  (** RNG seed: sampling is deterministic given the seed *)
 }
 

@@ -91,7 +91,27 @@ let refine ctx ~uncovered ~neg clause =
      (1, 0) avoids an expensive full sweep with the raw clause. *)
   climb clause prepared (1, 0)
 
+(* Static preflight (§3–§4 preconditions): the covering loop below only
+   makes sense over satisfiable CFD sets and well-formed MDs, so check
+   them before building the first bottom clause instead of dying
+   mid-epoch on a malformed constraint. *)
+let preflight ctx =
+  let config = ctx.Context.config in
+  if not config.Config.allow_dirty_constraints then begin
+    let diagnostics =
+      Dlearn_analysis.Analyzer.check_constraints ctx.Context.db
+        ~mds:ctx.Context.mds ~cfds:ctx.Context.cfds
+    in
+    if Dlearn_analysis.Diagnostic.has_errors diagnostics then begin
+      Log.err (fun m ->
+          m "constraint preflight failed:@,%a"
+            Dlearn_analysis.Diagnostic.pp_report diagnostics);
+      raise (Dlearn_analysis.Analyzer.Rejected diagnostics)
+    end
+  end
+
 let learn ctx ~pos ~neg =
+  preflight ctx;
   let config = ctx.Context.config in
   let target = Schema.name config.Config.target in
   let started = Unix.gettimeofday () in

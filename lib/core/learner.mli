@@ -20,7 +20,17 @@ type result = {
   seeds_skipped : int;
 }
 
-(** [learn ctx ~pos ~neg] learns a definition of the context's target. *)
+(** [preflight ctx] statically analyses the context's constraint set
+    ({!Dlearn_analysis.Analyzer.check_constraints}) and raises
+    {!Dlearn_analysis.Analyzer.Rejected} with the diagnostics when it
+    contains errors — unless [Config.allow_dirty_constraints] is set, in
+    which case it does nothing. [learn] runs it before building the first
+    bottom clause. *)
+val preflight : Context.t -> unit
+
+(** [learn ctx ~pos ~neg] learns a definition of the context's target.
+    @raise Dlearn_analysis.Analyzer.Rejected when the constraint preflight
+    finds errors (see {!preflight}). *)
 val learn :
   Context.t ->
   pos:Dlearn_relation.Tuple.t list ->

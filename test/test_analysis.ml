@@ -1,0 +1,510 @@
+open Dlearn_relation
+open Dlearn_logic
+open Dlearn_constraints
+open Dlearn_analysis
+
+let v = Term.var
+let s = Term.str
+let rel = Literal.rel
+
+(* Catalog with mixed domains: movies(id:string, title:string, year:int),
+   ratings(mid:string, score:float), people(name:string) empty. *)
+let fixture_db () =
+  let db = Database.create () in
+  let movies =
+    Database.create_relation db
+      (Schema.make "movies"
+         [
+           { Schema.attr_name = "id"; domain = Schema.Dstring };
+           { Schema.attr_name = "title"; domain = Schema.Dstring };
+           { Schema.attr_name = "year"; domain = Schema.Dint };
+         ])
+  in
+  Relation.insert_all movies
+    [
+      Tuple.make
+        [ Value.String "10"; Value.String "Star Wars"; Value.Int 1977 ];
+    ];
+  let ratings =
+    Database.create_relation db
+      (Schema.make "ratings"
+         [
+           { Schema.attr_name = "mid"; domain = Schema.Dstring };
+           { Schema.attr_name = "score"; domain = Schema.Dfloat };
+         ])
+  in
+  Relation.insert_all ratings
+    [ Tuple.make [ Value.String "10"; Value.Float 8.6 ] ];
+  ignore (Database.create_relation db (Schema.string_attrs "people" [ "name" ]));
+  db
+
+let codes ds =
+  List.map (fun d -> d.Diagnostic.code) ds |> List.sort_uniq String.compare
+
+let contains needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let check_has code ds =
+  Alcotest.(check bool)
+    (Printf.sprintf "emits %s (got %s)" code (String.concat "," (codes ds)))
+    true
+    (List.mem code (codes ds))
+
+let check_lacks code ds =
+  Alcotest.(check bool)
+    (Printf.sprintf "does not emit %s" code)
+    false
+    (List.mem code (codes ds))
+
+let lint c = Clause_lint.check c
+let typecheck ?target c = Schema_check.check (fixture_db ()) ?target c
+
+let clause_tests =
+  [
+    Alcotest.test_case "DL101 flags unbound head variables" `Quick (fun () ->
+        let bad =
+          Clause.make ~head:(rel "h" [ v "x" ]) [ rel "movies" [ v "y"; v "t"; v "z" ] ]
+        in
+        check_has "DL101" (lint bad);
+        let good =
+          Clause.make ~head:(rel "h" [ v "x" ]) [ rel "movies" [ v "x"; v "t"; v "z" ] ]
+        in
+        check_lacks "DL101" (lint good));
+    Alcotest.test_case "DL102 reports literals head_connected drops" `Quick
+      (fun () ->
+        let bad =
+          Clause.make ~head:(rel "h" [ v "x" ])
+            [ rel "movies" [ v "x"; v "t"; v "z" ]; rel "ratings" [ v "a"; v "b" ] ]
+        in
+        let ds = lint bad in
+        check_has "DL102" ds;
+        Alcotest.(check bool) "witness carries the dropped literal" true
+          (List.exists
+             (fun d ->
+               d.Diagnostic.code = "DL102"
+               && d.Diagnostic.witness = Some "ratings(a, b)")
+             ds);
+        let good =
+          Clause.make ~head:(rel "h" [ v "x" ])
+            [ rel "movies" [ v "x"; v "t"; v "z" ]; rel "ratings" [ v "x"; v "b" ] ]
+        in
+        check_lacks "DL102" (lint good));
+    Alcotest.test_case "DL103 flags singleton variables" `Quick (fun () ->
+        let bad =
+          Clause.make ~head:(rel "h" [ v "x" ]) [ rel "movies" [ v "x"; v "t"; v "z" ] ]
+        in
+        check_has "DL103" (lint bad);
+        let good =
+          Clause.make ~head:(rel "h" [ v "x" ])
+            [ rel "movies" [ v "x"; v "t"; v "t" ] ]
+        in
+        check_lacks "DL103" (lint good));
+    Alcotest.test_case "DL104 flags duplicate body literals" `Quick (fun () ->
+        let atom = rel "movies" [ v "x"; v "t"; v "t" ] in
+        let bad = Clause.make ~head:(rel "h" [ v "x" ]) [ atom; atom ] in
+        check_has "DL104" (lint bad);
+        check_lacks "DL104"
+          (lint (Clause.make ~head:(rel "h" [ v "x" ]) [ atom ])));
+    Alcotest.test_case "DL105 flags tautological restrictions" `Quick (fun () ->
+        let base = rel "movies" [ v "x"; v "t"; v "t" ] in
+        let bad =
+          Clause.make ~head:(rel "h" [ v "x" ]) [ base; Literal.Eq (v "x", v "x") ]
+        in
+        check_has "DL105" (lint bad);
+        let good =
+          Clause.make ~head:(rel "h" [ v "x" ]) [ base; Literal.Eq (v "x", v "t") ]
+        in
+        check_lacks "DL105" (lint good));
+    Alcotest.test_case "DL106 flags contradictory restrictions" `Quick
+      (fun () ->
+        let base = rel "movies" [ v "x"; v "t"; v "t" ] in
+        let neq =
+          Clause.make ~head:(rel "h" [ v "x" ]) [ base; Literal.Neq (v "x", v "x") ]
+        in
+        check_has "DL106" (lint neq);
+        let const_eq =
+          Clause.make ~head:(rel "h" [ v "x" ]) [ base; Literal.Eq (s "a", s "b") ]
+        in
+        check_has "DL106" (lint const_eq);
+        let good =
+          Clause.make ~head:(rel "h" [ v "x" ]) [ base; Literal.Neq (v "x", v "t") ]
+        in
+        check_lacks "DL106" (lint good));
+  ]
+
+let schema_tests =
+  [
+    Alcotest.test_case "DL201 flags unknown predicates" `Quick (fun () ->
+        let bad = Clause.make ~head:(rel "h" [ v "x" ]) [ rel "zzz" [ v "x" ] ] in
+        check_has "DL201" (typecheck bad);
+        let good =
+          Clause.make ~head:(rel "h" [ v "x" ]) [ rel "people" [ v "x" ] ]
+        in
+        check_lacks "DL201" (typecheck good));
+    Alcotest.test_case "DL202 flags arity mismatches" `Quick (fun () ->
+        let bad =
+          Clause.make ~head:(rel "h" [ v "x" ]) [ rel "movies" [ v "x"; v "t" ] ]
+        in
+        check_has "DL202" (typecheck bad);
+        let good =
+          Clause.make ~head:(rel "h" [ v "x" ]) [ rel "movies" [ v "x"; v "t"; v "y" ] ]
+        in
+        check_lacks "DL202" (typecheck good));
+    Alcotest.test_case "DL203 flags constants outside the domain" `Quick
+      (fun () ->
+        let bad =
+          Clause.make ~head:(rel "h" [ v "x" ])
+            [ rel "movies" [ v "x"; v "t"; s "nineteen" ] ]
+        in
+        check_has "DL203" (typecheck bad);
+        let good =
+          Clause.make ~head:(rel "h" [ v "x" ])
+            [ rel "movies" [ v "x"; v "t"; Term.const (Value.Int 1977) ] ]
+        in
+        check_lacks "DL203" (typecheck good));
+    Alcotest.test_case "DL204 flags similarity over non-strings" `Quick
+      (fun () ->
+        let bad =
+          Clause.make ~head:(rel "h" [ v "x" ])
+            [ rel "movies" [ v "x"; v "t"; v "y" ]; Literal.Sim (v "y", v "t") ]
+        in
+        check_has "DL204" (typecheck bad);
+        let const_bad =
+          Clause.make ~head:(rel "h" [ v "x" ])
+            [
+              rel "movies" [ v "x"; v "t"; v "y" ];
+              Literal.Sim (v "t", Term.const (Value.Int 3));
+            ]
+        in
+        check_has "DL204" (typecheck const_bad);
+        let good =
+          Clause.make ~head:(rel "h" [ v "x" ])
+            [ rel "movies" [ v "x"; v "t"; v "y" ]; Literal.Sim (v "t", v "u") ]
+        in
+        check_lacks "DL204" (typecheck good));
+    Alcotest.test_case "DL205 flags variables joining across domains" `Quick
+      (fun () ->
+        let bad =
+          Clause.make ~head:(rel "h" [ v "x" ])
+            [ rel "movies" [ v "x"; v "t"; v "y" ]; rel "ratings" [ v "z"; v "y" ] ]
+        in
+        check_has "DL205" (typecheck bad);
+        let good =
+          Clause.make ~head:(rel "h" [ v "x" ])
+            [ rel "movies" [ v "x"; v "t"; v "y" ]; rel "ratings" [ v "x"; v "w" ] ]
+        in
+        check_lacks "DL205" (typecheck good));
+    Alcotest.test_case "DL206 hints at a non-target head" `Quick (fun () ->
+        let target = Schema.string_attrs "target" [ "id" ] in
+        let c =
+          Clause.make ~head:(rel "h" [ v "x" ]) [ rel "people" [ v "x" ] ]
+        in
+        check_has "DL206" (typecheck ~target c);
+        let matching =
+          Clause.make ~head:(rel "target" [ v "x" ]) [ rel "people" [ v "x" ] ]
+        in
+        check_lacks "DL206" (typecheck ~target matching);
+        (* Without a configured target the hint cannot apply. *)
+        check_lacks "DL206" (typecheck c));
+  ]
+
+let constraints ?(mds = []) ?(cfds = []) () =
+  Constraint_check.check (fixture_db ()) ~mds ~cfds
+
+let cfd_tests =
+  [
+    Alcotest.test_case "DL301 flags CFDs over unknown relations" `Quick
+      (fun () ->
+        let bad = Cfd.fd ~id:"c" ~relation:"nosuch" [ "a" ] "b" in
+        check_has "DL301" (constraints ~cfds:[ bad ] ());
+        let good = Cfd.fd ~id:"c" ~relation:"movies" [ "id" ] "title" in
+        check_lacks "DL301" (constraints ~cfds:[ good ] ()));
+    Alcotest.test_case "DL302 flags missing CFD attributes" `Quick (fun () ->
+        let bad = Cfd.fd ~id:"c" ~relation:"movies" [ "id" ] "genre" in
+        check_has "DL302" (constraints ~cfds:[ bad ] ());
+        let good = Cfd.fd ~id:"c" ~relation:"movies" [ "id" ] "title" in
+        check_lacks "DL302" (constraints ~cfds:[ good ] ()));
+    Alcotest.test_case "DL303 flags patterns outside the domain" `Quick
+      (fun () ->
+        let bad =
+          Cfd.make ~id:"c" ~relation:"movies"
+            ~lhs:[ ("year", Cfd.Const (Value.String "late")) ]
+            ~rhs:("title", Cfd.Wildcard)
+        in
+        check_has "DL303" (constraints ~cfds:[ bad ] ());
+        let good =
+          Cfd.make ~id:"c" ~relation:"movies"
+            ~lhs:[ ("year", Cfd.Const (Value.Int 1977)) ]
+            ~rhs:("title", Cfd.Wildcard)
+        in
+        check_lacks "DL303" (constraints ~cfds:[ good ] ()));
+    Alcotest.test_case
+      "DL304 witnesses the consistency.mli conflicting pair" `Quick
+      (fun () ->
+        (* The docstring's unsatisfiable pair: every tuple's title would
+           have to equal both constants. *)
+        let c1 =
+          Cfd.make ~id:"phi1" ~relation:"movies"
+            ~lhs:[ ("id", Cfd.Wildcard) ]
+            ~rhs:("title", Cfd.Const (Value.String "b1"))
+        in
+        let c2 =
+          Cfd.make ~id:"phi2" ~relation:"movies"
+            ~lhs:[ ("id", Cfd.Wildcard) ]
+            ~rhs:("title", Cfd.Const (Value.String "b2"))
+        in
+        let ds = constraints ~cfds:[ c1; c2 ] () in
+        check_has "DL304" ds;
+        let d =
+          List.find (fun d -> d.Diagnostic.code = "DL304") ds
+        in
+        Alcotest.(check bool) "is an error" true
+          (d.Diagnostic.severity = Diagnostic.Error);
+        (match d.Diagnostic.witness with
+        | Some w ->
+            Alcotest.(check bool) "witness shows both conflicting patterns"
+              true
+              (contains "phi1" w && contains "phi2" w && contains "b1" w
+             && contains "b2" w)
+        | None -> Alcotest.fail "DL304 must carry a witness"));
+    Alcotest.test_case "circular constant patterns stay satisfiable" `Quick
+      (fun () ->
+        (* (A -> B, a1 || b1) with (B -> A, b1 || a2) has the satisfying
+           tuple (a2, b1) — the analyzer must not cry wolf. *)
+        let c1 =
+          Cfd.make ~id:"phi1" ~relation:"movies"
+            ~lhs:[ ("id", Cfd.Const (Value.String "a1")) ]
+            ~rhs:("title", Cfd.Const (Value.String "b1"))
+        in
+        let c2 =
+          Cfd.make ~id:"phi2" ~relation:"movies"
+            ~lhs:[ ("title", Cfd.Const (Value.String "b1")) ]
+            ~rhs:("id", Cfd.Const (Value.String "a2"))
+        in
+        check_lacks "DL304" (constraints ~cfds:[ c1; c2 ] ()));
+    Alcotest.test_case "DL304 core is minimal" `Quick (fun () ->
+        let harmless = Cfd.fd ~id:"ok" ~relation:"movies" [ "id" ] "year" in
+        let c1 =
+          Cfd.make ~id:"phi1" ~relation:"movies"
+            ~lhs:[ ("id", Cfd.Wildcard) ]
+            ~rhs:("title", Cfd.Const (Value.String "b1"))
+        in
+        let c2 =
+          Cfd.make ~id:"phi2" ~relation:"movies"
+            ~lhs:[ ("id", Cfd.Wildcard) ]
+            ~rhs:("title", Cfd.Const (Value.String "b2"))
+        in
+        match Consistency.inconsistent_cores [ harmless; c1; c2 ] with
+        | [ core ] ->
+            Alcotest.(check (list string))
+              "core excludes the harmless FD" [ "phi1"; "phi2" ]
+              (List.map (fun c -> c.Cfd.id) core)
+        | other -> Alcotest.failf "expected 1 core, got %d" (List.length other));
+    Alcotest.test_case "DL305 flags subsumed CFDs" `Quick (fun () ->
+        let general = Cfd.fd ~id:"general" ~relation:"movies" [ "id" ] "title" in
+        let special =
+          Cfd.make ~id:"special" ~relation:"movies"
+            ~lhs:[ ("id", Cfd.Const (Value.String "10")); ("year", Cfd.Wildcard) ]
+            ~rhs:("title", Cfd.Wildcard)
+        in
+        let ds = constraints ~cfds:[ general; special ] () in
+        check_has "DL305" ds;
+        Alcotest.(check bool) "the special CFD is the redundant one" true
+          (List.exists
+             (fun d ->
+               d.Diagnostic.code = "DL305"
+               && d.Diagnostic.subject = Diagnostic.Constraint "special")
+             ds);
+        let different_rhs = Cfd.fd ~id:"other" ~relation:"movies" [ "id" ] "year" in
+        check_lacks "DL305" (constraints ~cfds:[ general; different_rhs ] ()));
+    Alcotest.test_case "DL306 flags duplicate constraint ids" `Quick (fun () ->
+        let c1 = Cfd.fd ~id:"dup" ~relation:"movies" [ "id" ] "title" in
+        let c2 = Cfd.fd ~id:"dup" ~relation:"movies" [ "id" ] "year" in
+        check_has "DL306" (constraints ~cfds:[ c1; c2 ] ());
+        let c3 = Cfd.fd ~id:"other" ~relation:"movies" [ "id" ] "year" in
+        check_lacks "DL306" (constraints ~cfds:[ c1; c3 ] ()));
+    Alcotest.test_case "DL307 hints at empty relations" `Quick (fun () ->
+        let md =
+          Md.make ~id:"m" ~left:"people" ~right:"movies"
+            ~compared:[ ("name", "title") ] ~unified:("name", "title") ()
+        in
+        check_has "DL307" (constraints ~mds:[ md ] ());
+        let populated =
+          Md.make ~id:"m" ~left:"movies" ~right:"ratings"
+            ~compared:[ ("title", "mid") ] ~unified:("title", "mid") ()
+        in
+        check_lacks "DL307" (constraints ~mds:[ populated ] ()))
+  ]
+
+let md_tests =
+  [
+    Alcotest.test_case "DL310 flags MDs over unknown relations" `Quick
+      (fun () ->
+        let bad = Md.symmetric ~id:"m" "movies" "nosuch" "title" in
+        check_has "DL310" (constraints ~mds:[ bad ] ());
+        let good =
+          Md.make ~id:"m" ~left:"movies" ~right:"ratings"
+            ~compared:[ ("id", "mid") ] ~unified:("id", "mid") ()
+        in
+        check_lacks "DL310" (constraints ~mds:[ good ] ()));
+    Alcotest.test_case "DL311 flags missing MD attributes" `Quick (fun () ->
+        let bad =
+          Md.make ~id:"m" ~left:"movies" ~right:"ratings"
+            ~compared:[ ("title", "nosuchattr") ] ~unified:("id", "mid") ()
+        in
+        check_has "DL311" (constraints ~mds:[ bad ] ());
+        let good =
+          Md.make ~id:"m" ~left:"movies" ~right:"ratings"
+            ~compared:[ ("id", "mid") ] ~unified:("id", "mid") ()
+        in
+        check_lacks "DL311" (constraints ~mds:[ good ] ()));
+    Alcotest.test_case "DL312 flags non-string MD attributes" `Quick
+      (fun () ->
+        let bad =
+          Md.make ~id:"m" ~left:"movies" ~right:"ratings"
+            ~compared:[ ("year", "score") ] ~unified:("id", "mid") ()
+        in
+        let ds = constraints ~mds:[ bad ] () in
+        check_has "DL312" ds;
+        let good =
+          Md.make ~id:"m" ~left:"movies" ~right:"ratings"
+            ~compared:[ ("title", "mid") ] ~unified:("id", "mid") ()
+        in
+        check_lacks "DL312" (constraints ~mds:[ good ] ()));
+    Alcotest.test_case "DL313 flags thresholds outside (0,1]" `Quick (fun () ->
+        let bad =
+          Md.make ~id:"m" ~left:"movies" ~right:"ratings"
+            ~compared:[ ("id", "mid") ] ~unified:("id", "mid") ~threshold:1.5 ()
+        in
+        check_has "DL313" (constraints ~mds:[ bad ] ());
+        let zero =
+          Md.make ~id:"m" ~left:"movies" ~right:"ratings"
+            ~compared:[ ("id", "mid") ] ~unified:("id", "mid") ~threshold:0.0 ()
+        in
+        check_has "DL313" (constraints ~mds:[ zero ] ());
+        let good =
+          Md.make ~id:"m" ~left:"movies" ~right:"ratings"
+            ~compared:[ ("id", "mid") ] ~unified:("id", "mid") ~threshold:0.6 ()
+        in
+        check_lacks "DL313" (constraints ~mds:[ good ] ()));
+    Alcotest.test_case "DL314 flags MD interaction cycles" `Quick (fun () ->
+        let m1 =
+          Md.make ~id:"m1" ~left:"movies" ~right:"ratings"
+            ~compared:[ ("title", "mid") ] ~unified:("id", "mid") ()
+        in
+        let m2 =
+          Md.make ~id:"m2" ~left:"movies" ~right:"ratings"
+            ~compared:[ ("id", "mid") ] ~unified:("title", "mid") ()
+        in
+        let ds = constraints ~mds:[ m1; m2 ] () in
+        check_has "DL314" ds;
+        (* A symmetric MD re-triggering itself is the normal idempotent
+           merge semantics, not a cycle. *)
+        let sym =
+          Md.make ~id:"m" ~left:"movies" ~right:"ratings"
+            ~compared:[ ("title", "mid") ] ~unified:("title", "mid") ()
+        in
+        check_lacks "DL314" (constraints ~mds:[ sym ] ()));
+  ]
+
+let analyzer_tests =
+  [
+    Alcotest.test_case "clean paper-style inputs produce no diagnostics"
+      `Quick (fun () ->
+        let db = fixture_db () in
+        let mds =
+          [
+            Md.make ~id:"m" ~left:"movies" ~right:"ratings"
+              ~compared:[ ("id", "mid") ] ~unified:("id", "mid") ();
+          ]
+        in
+        let cfds = [ Cfd.fd ~id:"c" ~relation:"movies" [ "id" ] "title" ] in
+        let ds = Analyzer.preflight db ~mds ~cfds [] in
+        Alcotest.(check (list string)) "no diagnostics" [] (codes ds));
+    Alcotest.test_case "reject_on_errors raises only on errors" `Quick
+      (fun () ->
+        let warning =
+          Diagnostic.warning ~code:"DL999" ~subject:Diagnostic.General "w"
+        in
+        Analyzer.reject_on_errors [ warning ];
+        let error =
+          Diagnostic.error ~code:"DL999" ~subject:Diagnostic.General "e"
+        in
+        Alcotest.(check bool) "raises" true
+          (try
+             Analyzer.reject_on_errors [ warning; error ];
+             false
+           with Analyzer.Rejected ds -> List.length ds = 2));
+    Alcotest.test_case "JSON rendering escapes and sorts" `Quick (fun () ->
+        let ds =
+          [
+            Diagnostic.hint ~code:"DL307" ~subject:Diagnostic.General "later";
+            Diagnostic.error ~code:"DL304"
+              ~subject:(Diagnostic.Relation "movies")
+              ~witness:"say \"hi\"\n" "first";
+          ]
+        in
+        let json = Diagnostic.report_to_json ds in
+        Alcotest.(check bool) "escaped quote" true
+          (contains {|say \"hi\"\n|} json
+           && contains {|"code":"DL304"|} json
+           &&
+           (* errors sort before hints *)
+           let i304 = ref 0 and i307 = ref 0 in
+           String.iteri
+             (fun i c ->
+               if c = '3' && i + 3 <= String.length json then begin
+                 if String.sub json i 3 = "304" && !i304 = 0 then i304 := i;
+                 if String.sub json i 3 = "307" && !i307 = 0 then i307 := i
+               end)
+             json;
+           !i304 < !i307));
+  ]
+
+let learner_tests =
+  let learning_context ~allow_dirty =
+    let db = fixture_db () in
+    let target = Schema.string_attrs "target" [ "id" ] in
+    let config =
+      { (Dlearn_core.Config.default ~target) with
+        Dlearn_core.Config.allow_dirty_constraints = allow_dirty }
+    in
+    let bad_cfds =
+      [
+        Cfd.make ~id:"phi1" ~relation:"movies"
+          ~lhs:[ ("id", Cfd.Wildcard) ]
+          ~rhs:("title", Cfd.Const (Value.String "b1"));
+        Cfd.make ~id:"phi2" ~relation:"movies"
+          ~lhs:[ ("id", Cfd.Wildcard) ]
+          ~rhs:("title", Cfd.Const (Value.String "b2"));
+      ]
+    in
+    Dlearn_core.Context.create config db [] bad_cfds
+  in
+  [
+    Alcotest.test_case "learner preflight rejects unsatisfiable CFDs" `Quick
+      (fun () ->
+        let ctx = learning_context ~allow_dirty:false in
+        Alcotest.(check bool) "raises Rejected" true
+          (try
+             Dlearn_core.Learner.preflight ctx;
+             false
+           with Analyzer.Rejected ds -> Diagnostic.has_errors ds));
+    Alcotest.test_case "allow_dirty_constraints skips the preflight" `Quick
+      (fun () ->
+        let ctx = learning_context ~allow_dirty:true in
+        Dlearn_core.Learner.preflight ctx);
+  ]
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ("clause lints", clause_tests);
+      ("schema typecheck", schema_tests);
+      ("cfd analysis", cfd_tests);
+      ("md analysis", md_tests);
+      ("analyzer", analyzer_tests);
+      ("learner preflight", learner_tests);
+    ]

@@ -548,8 +548,61 @@ let repair_clause_gen =
 
 let repair_clause_arb = QCheck.make ~print:Clause.to_string repair_clause_gen
 
+(* Repair-free clauses exercising the whole concrete grammar of
+   lib/logic/parser.mli — which claims to be the inverse of
+   Clause.to_string: multi-char identifiers with digits/underscores/primes,
+   string constants containing quotes, backslashes and spaces, signed
+   integers, and floats with a fractional part (integral floats print
+   without a dot and would re-parse as ints). *)
+let printable_clause_gen =
+  let open QCheck.Gen in
+  let ident =
+    oneofl [ "x"; "y0"; "long_name"; "z'"; "V"; "_tmp" ] |> map Term.var
+  in
+  let string_const =
+    let chars =
+      oneofl [ 'a'; 'Z'; '0'; ' '; '"'; '\\'; '~'; '('; ','; '-' ]
+    in
+    map (fun s -> Term.str s) (string_size ~gen:chars (0 -- 8))
+  in
+  let int_const = map (fun i -> Term.const (Dlearn_relation.Value.Int i)) (-100 -- 100) in
+  let float_const =
+    map
+      (fun k -> Term.const (Dlearn_relation.Value.Float (float_of_int ((2 * k) + 1) /. 4.)))
+      (-20 -- 20)
+  in
+  let term = oneof [ ident; ident; string_const; int_const; float_const ] in
+  let atom =
+    let* pred = oneofl [ "p"; "q"; "rel_2" ] in
+    let* arity = 1 -- 3 in
+    let* args = list_repeat arity term in
+    return (rel pred args)
+  in
+  let lit =
+    frequency
+      [
+        (3, atom);
+        (1, map2 (fun a b -> Literal.Sim (a, b)) term term);
+        (1, map2 (fun a b -> Literal.Eq (a, b)) term term);
+        (1, map2 (fun a b -> Literal.Neq (a, b)) term term);
+      ]
+  in
+  let* body = list_size (0 -- 8) lit in
+  let* head_args = list_size (1 -- 2) term in
+  return (Clause.make ~head:(rel "head_pred" head_args) body)
+
+let printable_clause_arb =
+  QCheck.make ~print:Clause.to_string printable_clause_gen
+
 let qcheck_tests =
   [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"Parser.clause inverts Clause.to_string"
+         ~count:1000 printable_clause_arb (fun c ->
+           match Parser.clause (Clause.to_string c) with
+           | Ok c' -> Clause.equal c c'
+           | Error msg ->
+               QCheck.Test.fail_reportf "re-parse failed: %s" msg));
     QCheck_alcotest.to_alcotest
       (QCheck.Test.make ~name:"repaired clauses carry no repair literals"
          ~count:200 repair_clause_arb (fun c ->
