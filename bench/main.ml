@@ -215,6 +215,81 @@ let ablation_clause_size ~folds:_ ~n () =
     ];
   print_newline ()
 
+(* Parallel coverage scaling: the same coverage workload on a sequential
+   context and on the domain pool, per dataset. The verdicts are
+   bitwise-identical by construction (test/test_parallel.ml); this bench
+   reports the wall-clock ratio. On a single-core machine the speedup
+   hovers around 1x (or below, for the pool overhead) — the point of
+   reporting it honestly rather than hard-coding an expectation. *)
+let bench_jobs = ref 4
+
+let bench_parallel ~folds:_ ~n () =
+  let jobs = max 2 !bench_jobs in
+  Printf.printf "== Parallel coverage: 1 vs %d domains ==\n" jobs;
+  let datasets =
+    [
+      ("imdb1", fun () -> Imdb_omdb.generate ?n `One_md);
+      ("imdb3", fun () -> Imdb_omdb.generate ?n `Three_mds);
+      ("walmart", fun () -> Walmart_amazon.generate ?n ());
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, make) ->
+        let w = Experiment.with_km (make ()) 2 in
+        let pos = w.Workload.pos and neg = w.Workload.neg in
+        let seeds =
+          List.filteri (fun i _ -> i < 4) pos
+        in
+        let time_with num_domains =
+          let config =
+            { w.Workload.config with Config.num_domains = num_domains }
+          in
+          let ctx =
+            Baselines.make_context Baselines.Dlearn config w.Workload.db
+              w.Workload.mds w.Workload.cfds
+          in
+          let preps =
+            List.map
+              (fun e ->
+                Coverage.prepare ctx
+                  (Bottom_clause.build ctx Bottom_clause.Variable e))
+              seeds
+          in
+          (* Warm every per-example and per-clause cache so the timing
+             compares the subsumption fan-out, not one-time setup. *)
+          List.iter
+            (fun prep -> ignore (Coverage.coverage ctx prep ~pos ~neg))
+            preps;
+          let t0 = Unix.gettimeofday () in
+          List.iter
+            (fun prep -> ignore (Coverage.coverage ctx prep ~pos ~neg))
+            preps;
+          let dt = Unix.gettimeofday () -. t0 in
+          Dlearn_parallel.Pool.log_stats (Dlearn_parallel.Pool.get num_domains);
+          dt
+        in
+        let t_seq = time_with 1 in
+        let t_par = time_with jobs in
+        [
+          name;
+          Printf.sprintf "%.3fs" t_seq;
+          Printf.sprintf "%.3fs" t_par;
+          Printf.sprintf "%.2fx" (t_seq /. t_par);
+        ])
+      datasets
+  in
+  Text_table.print
+    ~header:
+      [
+        "dataset";
+        "sequential";
+        Printf.sprintf "%d domains" jobs;
+        "speedup";
+      ]
+    rows;
+  print_newline ()
+
 (* ------------------------------------------------------------------ *)
 
 let all_benches =
@@ -229,13 +304,14 @@ let all_benches =
     ("defs", defs);
     ("ablation-beam", ablation_beam);
     ("ablation-size", ablation_clause_size);
+    ("parallel", bench_parallel);
   ]
 
-let usage () =
+let usage ?(code = 1) () =
   Printf.printf
-    "usage: main.exe [%s|micro|all] [--folds K] [--n N]\n"
+    "usage: main.exe [%s|micro|all] [--folds K] [--n N] [--jobs N]\n"
     (String.concat "|" (List.map fst all_benches));
-  exit 1
+  exit code
 
 let () =
   let folds = ref 5 in
@@ -246,11 +322,18 @@ let () =
   let which = ref "all" in
   let rec parse = function
     | [] -> ()
+    | "--help" :: _ | "-h" :: _ -> usage ~code:0 ()
     | "--folds" :: v :: rest ->
         folds := int_of_string v;
         parse rest
     | "--n" :: v :: rest ->
         n := Some (int_of_string v);
+        parse rest
+    | "--jobs" :: v :: rest ->
+        (* Both the bench's own comparison and every context the table
+           drivers create below (Config.default reads the variable). *)
+        bench_jobs := int_of_string v;
+        Unix.putenv "DLEARN_NUM_DOMAINS" v;
         parse rest
     | name :: rest when name.[0] <> '-' ->
         which := name;

@@ -57,6 +57,14 @@ let p_arg =
   let doc = "CFD-violation injection rate." in
   Arg.(value & opt float 0.0 & info [ "p" ] ~docv:"P" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Domains to fan coverage checks and cross-validation folds out over \
+     (1 = sequential; default: the machine's recommended domain count, \
+     also settable via DLEARN_NUM_DOMAINS)."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let verbose_arg =
   let doc = "Log learner progress." in
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
@@ -94,9 +102,10 @@ let learn_cmd =
     let doc = "Cross-validation folds." in
     Arg.(value & opt int 5 & info [ "folds" ] ~docv:"K" ~doc)
   in
-  let run dataset system n km depth p folds verbose =
+  let run dataset system n km depth p folds jobs verbose =
     setup_logs verbose;
     let w = apply_overrides (make_dataset ?n dataset) km depth p in
+    let w = match jobs with Some j -> Experiment.with_jobs w j | None -> w in
     let system = system_of_string system in
     Printf.printf "%s\n" (Workload.describe w);
     let r = Experiment.evaluate ~folds system w in
@@ -108,7 +117,7 @@ let learn_cmd =
     (Cmd.info "learn" ~doc:"Cross-validate a system on a workload.")
     Term.(
       const run $ dataset_arg $ system_arg $ n_arg $ km_arg $ depth_arg $ p_arg
-      $ folds_arg $ verbose_arg)
+      $ folds_arg $ jobs_arg $ verbose_arg)
 
 (* dlearn show *)
 let show_cmd =

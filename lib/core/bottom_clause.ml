@@ -656,14 +656,23 @@ let build (ctx : Context.t) mode (e : Tuple.t) =
   in
   Clause.make ~head body
 
+(* Double-checked: the build runs outside the cache lock so distinct
+   examples ground in parallel. Two domains racing on one key both build
+   (the same clause — construction is deterministic in the example) and
+   the first insert wins, so every caller shares one entry. *)
 let ground (ctx : Context.t) e =
   let key = Context.example_key e in
-  match Hashtbl.find_opt ctx.Context.ground_cache key with
+  let cached =
+    Mutex.protect ctx.Context.ground_lock (fun () ->
+        Hashtbl.find_opt ctx.Context.ground_cache key)
+  in
+  match cached with
   | Some entry -> entry
-  | None ->
+  | None -> (
       let entry =
         {
           Context.ground = build ctx Ground e;
+          lock = Mutex.create ();
           cfd_apps = None;
           repairs = None;
           target = None;
@@ -671,5 +680,9 @@ let ground (ctx : Context.t) e =
           prefilter_target = None;
         }
       in
-      Hashtbl.add ctx.Context.ground_cache key entry;
-      entry
+      Mutex.protect ctx.Context.ground_lock (fun () ->
+          match Hashtbl.find_opt ctx.Context.ground_cache key with
+          | Some existing -> existing
+          | None ->
+              Hashtbl.add ctx.Context.ground_cache key entry;
+              entry))

@@ -18,8 +18,20 @@ type t = {
   repair_result_cap : int;
   cfd_rounds : int;
   allow_dirty_constraints : bool;
+  num_domains : int;
   seed : int;
 }
+
+(* DLEARN_NUM_DOMAINS overrides the hardware default so CI (and any batch
+   environment) can pin the parallel or the sequential path without
+   plumbing a flag through every entry point. *)
+let default_num_domains () =
+  match Sys.getenv_opt "DLEARN_NUM_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
 
 let default ~target =
   {
@@ -42,12 +54,13 @@ let default ~target =
     repair_result_cap = 16;
     cfd_rounds = 2;
     allow_dirty_constraints = false;
+    num_domains = default_num_domains ();
     seed = 42;
   }
 
 let pp fmt t =
   Format.fprintf fmt
-    "{target=%s; d=%d; km=%d; sample_size=%d; threshold=%.2f; exact=%b; seed=%d}"
+    "{target=%s; d=%d; km=%d; sample_size=%d; threshold=%.2f; exact=%b; jobs=%d; seed=%d}"
     (Dlearn_relation.Schema.name t.target)
     t.depth t.km t.sample_size t.sim.Dlearn_constraints.Md.threshold
-    t.exact_matching t.seed
+    t.exact_matching t.num_domains t.seed

@@ -44,11 +44,17 @@ type t = {
       (** skip the static constraint preflight the learner runs before
           bottom-clause construction; with malformed constraints the
           paper's guarantees no longer hold and runs may fail mid-epoch *)
+  num_domains : int;
+      (** domains used by the coverage engine's pool ([1] = the exact
+          sequential path, no domains spawned); parallel and sequential
+          runs return bitwise-identical results — see docs/PARALLELISM.md *)
   seed : int;  (** RNG seed: sampling is deterministic given the seed *)
 }
 
 (** [default ~target] — the paper's operating point: d = 3, km = 5,
-    sample_size = 10, paper similarity at 0.6. *)
+    sample_size = 10, paper similarity at 0.6. [num_domains] defaults to
+    [Domain.recommended_domain_count ()], overridable through the
+    [DLEARN_NUM_DOMAINS] environment variable (read at each call). *)
 val default : target:Dlearn_relation.Schema.t -> t
 
 val pp : Format.formatter -> t -> unit

@@ -3,6 +3,9 @@ open Dlearn_constraints
 
 type ground_entry = {
   ground : Dlearn_logic.Clause.t;
+  lock : Mutex.t;
+      (* guards every mutable field below: the lazily-memoized caches are
+         hit concurrently when coverage fans out over domains *)
   mutable cfd_apps : Dlearn_logic.Clause.t list option;
   mutable repairs : Dlearn_logic.Clause.t list option;
   mutable target : Dlearn_logic.Subsumption.target option;
@@ -17,7 +20,9 @@ type t = {
   cfds : Cfd.t list;
   rng : Random.State.t;
   sim_indexes : (string * int, Dlearn_similarity.Sim_index.t) Hashtbl.t;
+  sim_lock : Mutex.t;
   ground_cache : (string, ground_entry) Hashtbl.t;
+  ground_lock : Mutex.t;
 }
 
 let create config db mds cfds =
@@ -44,21 +49,29 @@ let create config db mds cfds =
     cfds;
     rng = Random.State.make [| config.Config.seed |];
     sim_indexes = Hashtbl.create 8;
+    sim_lock = Mutex.create ();
     ground_cache = Hashtbl.create 256;
+    ground_lock = Mutex.create ();
   }
 
+let pool t = Dlearn_parallel.Pool.get t.config.Config.num_domains
+
+(* Building an index is expensive but happens once per (relation,
+   attribute); holding the lock across the build deduplicates the work
+   when several domains miss simultaneously. *)
 let sim_index t rel pos =
-  match Hashtbl.find_opt t.sim_indexes (rel, pos) with
-  | Some idx -> idx
-  | None ->
-      let relation = Database.find t.db rel in
-      let values = Relation.distinct_values relation pos in
-      let idx =
-        Dlearn_similarity.Sim_index.of_values
-          ~measure:t.config.Config.sim.Md.measure values
-      in
-      Hashtbl.add t.sim_indexes (rel, pos) idx;
-      idx
+  Mutex.protect t.sim_lock (fun () ->
+      match Hashtbl.find_opt t.sim_indexes (rel, pos) with
+      | Some idx -> idx
+      | None ->
+          let relation = Database.find t.db rel in
+          let values = Relation.distinct_values relation pos in
+          let idx =
+            Dlearn_similarity.Sim_index.of_values
+              ~measure:t.config.Config.sim.Md.measure values
+          in
+          Hashtbl.add t.sim_indexes (rel, pos) idx;
+          idx)
 
 let example_key e = Tuple.to_string e
 

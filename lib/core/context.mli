@@ -5,6 +5,11 @@
 
 type ground_entry = {
   ground : Dlearn_logic.Clause.t;
+  lock : Mutex.t;
+      (** guards all mutable fields below — the coverage engine memoizes
+          into them from several domains at once; take it through
+          [Coverage]'s accessors rather than reading the fields directly
+          in parallel code *)
   mutable cfd_apps : Dlearn_logic.Clause.t list option;
   mutable repairs : Dlearn_logic.Clause.t list option;
   mutable target : Dlearn_logic.Subsumption.target option;
@@ -23,7 +28,9 @@ type t = {
   cfds : Dlearn_constraints.Cfd.t list;
   rng : Random.State.t;
   sim_indexes : (string * int, Dlearn_similarity.Sim_index.t) Hashtbl.t;
+  sim_lock : Mutex.t;  (** guards [sim_indexes] *)
   ground_cache : (string, ground_entry) Hashtbl.t;
+  ground_lock : Mutex.t;  (** guards [ground_cache] *)
 }
 
 (** [create config db mds cfds] prepares the context: one similarity index
@@ -38,8 +45,12 @@ val create :
   Dlearn_constraints.Cfd.t list ->
   t
 
+(** [pool t] is the shared domain pool of [config.num_domains] domains
+    the coverage engine fans out on; size 1 is the sequential path. *)
+val pool : t -> Dlearn_parallel.Pool.t
+
 (** [sim_index t rel pos] is the index over the distinct values of the
-    attribute (built lazily on first use). *)
+    attribute (built lazily on first use; safe to call from any domain). *)
 val sim_index : t -> string -> int -> Dlearn_similarity.Sim_index.t
 
 (** [example_key e] is the cache key of a training example. *)

@@ -1,10 +1,12 @@
 open Dlearn_logic
+module Memo = Dlearn_parallel.Memo
+module Pool = Dlearn_parallel.Pool
 
 type prepared = {
   clause : Clause.t;
-  cfd_apps : Clause.t list Lazy.t;
-  repairs : Clause.t list Lazy.t;
-  skeleton : Clause.t Lazy.t;
+  cfd_apps : Clause.t list Memo.t;
+  repairs : Clause.t list Memo.t;
+  skeleton : Clause.t Memo.t;
       (* head + schema atoms with every occurrence of a repairable term
          (subject or replacement of some repair literal) wildcarded *)
 }
@@ -45,10 +47,12 @@ let prepare ctx clause =
   {
     clause;
     cfd_apps =
-      lazy (Clause_repair.cfd_applications ~state_cap ~result_cap clause);
+      Memo.make (fun () ->
+          Clause_repair.cfd_applications ~state_cap ~result_cap clause);
     repairs =
-      lazy (Clause_repair.repaired_clauses ~state_cap ~result_cap clause);
-    skeleton = lazy (skeleton_of clause);
+      Memo.make (fun () ->
+          Clause_repair.repaired_clauses ~state_cap ~result_cap clause);
+    skeleton = Memo.make (fun () -> skeleton_of clause);
   }
 
 let has_cfd_repairs (c : Clause.t) =
@@ -58,27 +62,36 @@ let has_cfd_repairs (c : Clause.t) =
       | _ -> false)
     c.Clause.body
 
+(* The per-entry caches below memoize under the entry's lock so that
+   concurrent coverage checks of one example from several domains compute
+   each object once and share it. The [_unlocked] variants exist for the
+   accessors that need one another (repair targets need the repairs):
+   stdlib mutexes are not reentrant, so only the outermost accessor
+   locks. *)
+
 let ground_cfd_apps ctx (entry : Context.ground_entry) =
-  match entry.Context.cfd_apps with
-  | Some apps -> apps
-  | None ->
-      let state_cap, result_cap = caps ctx in
-      let apps =
-        Clause_repair.cfd_applications ~state_cap ~result_cap
-          entry.Context.ground
-      in
-      entry.Context.cfd_apps <- Some apps;
-      apps
+  Mutex.protect entry.Context.lock (fun () ->
+      match entry.Context.cfd_apps with
+      | Some apps -> apps
+      | None ->
+          let state_cap, result_cap = caps ctx in
+          let apps =
+            Clause_repair.cfd_applications ~state_cap ~result_cap
+              entry.Context.ground
+          in
+          entry.Context.cfd_apps <- Some apps;
+          apps)
 
 let ground_target (_ctx : Context.t) (entry : Context.ground_entry) =
-  match entry.Context.target with
-  | Some t -> t
-  | None ->
-      let t = Subsumption.prepare entry.Context.ground in
-      entry.Context.target <- Some t;
-      t
+  Mutex.protect entry.Context.lock (fun () ->
+      match entry.Context.target with
+      | Some t -> t
+      | None ->
+          let t = Subsumption.prepare entry.Context.ground in
+          entry.Context.target <- Some t;
+          t)
 
-let ground_repairs ctx (entry : Context.ground_entry) =
+let ground_repairs_unlocked ctx (entry : Context.ground_entry) =
   match entry.Context.repairs with
   | Some rs -> rs
   | None ->
@@ -90,6 +103,9 @@ let ground_repairs ctx (entry : Context.ground_entry) =
       entry.Context.repairs <- Some rs;
       rs
 
+let ground_repairs ctx (entry : Context.ground_entry) =
+  Mutex.protect entry.Context.lock (fun () -> ground_repairs_unlocked ctx entry)
+
 (* Fast path: Definition 4.4 subsumption against the ground bottom clause
    is sound for coverage (Theorem 4.6). When it fails, decide Definition
    3.4 directly: every repaired clause of C must subsume some repaired
@@ -97,40 +113,44 @@ let ground_repairs ctx (entry : Context.ground_entry) =
    database by Theorem 4.11. Both sides are repair-free there, so the
    connectivity condition is vacuous. *)
 let ground_repair_targets ctx (entry : Context.ground_entry) =
-  match entry.Context.repair_targets with
-  | Some ts -> ts
-  | None ->
-      let ts = List.map Subsumption.prepare (ground_repairs ctx entry) in
-      entry.Context.repair_targets <- Some ts;
-      ts
+  Mutex.protect entry.Context.lock (fun () ->
+      match entry.Context.repair_targets with
+      | Some ts -> ts
+      | None ->
+          let ts =
+            List.map Subsumption.prepare (ground_repairs_unlocked ctx entry)
+          in
+          entry.Context.repair_targets <- Some ts;
+          ts)
 
 (* Ge's relational part, with equality literals unioning every pair of
    terms some repair group might make identical — the over-approximation
    of all possible merges that the skeleton is matched against. *)
 let prefilter_target (_ctx : Context.t) (entry : Context.ground_entry) =
-  match entry.Context.prefilter_target with
-  | Some t -> t
-  | None ->
-      let ge = entry.Context.ground in
-      let merge_eqs =
-        List.filter_map
-          (function
-            | Literal.Repair { subject; replacement; _ } ->
-                Some (Literal.Eq (subject, replacement))
-            | _ -> None)
-          ge.Clause.body
-      in
-      let target_clause =
-        Clause.make ~head:ge.Clause.head (Clause.rel_body ge @ merge_eqs)
-      in
-      let t = Subsumption.prepare target_clause in
-      entry.Context.prefilter_target <- Some t;
-      t
+  Mutex.protect entry.Context.lock (fun () ->
+      match entry.Context.prefilter_target with
+      | Some t -> t
+      | None ->
+          let ge = entry.Context.ground in
+          let merge_eqs =
+            List.filter_map
+              (function
+                | Literal.Repair { subject; replacement; _ } ->
+                    Some (Literal.Eq (subject, replacement))
+                | _ -> None)
+              ge.Clause.body
+          in
+          let target_clause =
+            Clause.make ~head:ge.Clause.head (Clause.rel_body ge @ merge_eqs)
+          in
+          let t = Subsumption.prepare target_clause in
+          entry.Context.prefilter_target <- Some t;
+          t)
 
 let passes_prefilter ctx prepared entry =
   let budget = ctx.Context.config.Config.subsumption_budget in
   Subsumption.subsumes_target_bool ~budget ~repair_connectivity:false
-    (Lazy.force prepared.skeleton)
+    (Memo.force prepared.skeleton)
     (prefilter_target ctx entry)
 
 let covers_positive ctx prepared e =
@@ -142,7 +162,7 @@ let covers_positive ctx prepared e =
   then true
   else if not (passes_prefilter ctx prepared entry) then false
   else begin
-    let crs = Lazy.force prepared.repairs in
+    let crs = Memo.force prepared.repairs in
     let grs = ground_repair_targets ctx entry in
     crs <> []
     && List.for_all
@@ -160,7 +180,7 @@ let covers_negative ctx prepared e =
   let entry = Bottom_clause.ground ctx e in
   if not (passes_prefilter ctx prepared entry) then false
   else
-  let crs = Lazy.force prepared.repairs in
+  let crs = Memo.force prepared.repairs in
   let grs = ground_repair_targets ctx entry in
   List.exists
     (fun cr ->
@@ -173,16 +193,23 @@ let covers_negative ctx prepared e =
 
 (* The paper's §4.3 intermediate procedure: apply only the CFD groups on
    both sides and keep MD repair literals as atoms (Theorem 4.9). Exposed
-   for the ablation benchmark comparing it with the full enumeration. *)
-let covers_positive_cfd_split ctx prepared e =
+   for the ablation benchmark comparing it with the full enumeration.
+   The skeleton prefilter is the same necessary condition as for the full
+   enumeration — a CFD application only rewrites repairable-term
+   occurrences, all of which the skeleton wildcards and the prefilter
+   target's merge equalities cover — so it gates this branch too;
+   [~prefilter:false] preserves the unfiltered path for the regression
+   test pinning their equivalence. *)
+let covers_positive_cfd_split ?(prefilter = true) ctx prepared e =
   let budget = ctx.Context.config.Config.subsumption_budget in
   let entry = Bottom_clause.ground ctx e in
   let ge = entry.Context.ground in
   if Subsumption.subsumes_bool ~budget prepared.clause ge then true
+  else if prefilter && not (passes_prefilter ctx prepared entry) then false
   else if not (has_cfd_repairs prepared.clause || has_cfd_repairs ge) then
     false
   else begin
-    let cas = Lazy.force prepared.cfd_apps in
+    let cas = Memo.force prepared.cfd_apps in
     let gas = ground_cfd_apps ctx entry in
     cas <> []
     && List.for_all
@@ -191,11 +218,14 @@ let covers_positive_cfd_split ctx prepared e =
          cas
   end
 
+let covers_positive_batch ctx prepared es =
+  Pool.map_list (Context.pool ctx) (covers_positive ctx prepared) es
+
+let covers_negative_batch ctx prepared es =
+  Pool.map_list (Context.pool ctx) (covers_negative ctx prepared) es
+
 let coverage ctx prepared ~pos ~neg =
-  let p =
-    List.length (List.filter (covers_positive ctx prepared) pos)
-  in
-  let n =
-    List.length (List.filter (covers_negative ctx prepared) neg)
-  in
+  let pool = Context.pool ctx in
+  let p = Pool.filter_count_list pool (covers_positive ctx prepared) pos in
+  let n = Pool.filter_count_list pool (covers_negative ctx prepared) neg in
   (p, n)

@@ -13,28 +13,50 @@
     {e some} fully repaired clause of the example's ground bottom clause
     (both sides repair-free, so Definition 4.4's connectivity condition is
     vacuous). Enumerations are capped by the configuration; the caps only
-    ever under-approximate negative coverage. *)
+    ever under-approximate negative coverage.
+
+    Per-example coverage is embarrassingly parallel: {!coverage} and the
+    batch predicates fan out over the context's domain pool
+    ([Config.num_domains]); all shared per-clause and per-example caches
+    memoize under locks, so the parallel results are bitwise identical to
+    the sequential path (see docs/PARALLELISM.md). *)
 
 type prepared = {
   clause : Dlearn_logic.Clause.t;
-  cfd_apps : Dlearn_logic.Clause.t list Lazy.t;
-  repairs : Dlearn_logic.Clause.t list Lazy.t;
-  skeleton : Dlearn_logic.Clause.t Lazy.t;
+  cfd_apps : Dlearn_logic.Clause.t list Dlearn_parallel.Memo.t;
+  repairs : Dlearn_logic.Clause.t list Dlearn_parallel.Memo.t;
+  skeleton : Dlearn_logic.Clause.t Dlearn_parallel.Memo.t;
       (** the clause's relational skeleton with repairable term occurrences
           wildcarded — matched against the example's relational part modulo
           its potential merges as a necessary condition before any repair
           enumeration runs *)
 }
 
-(** [prepare ctx c] wraps [c] with lazily computed repair enumerations so
-    that scoring over many examples shares them. *)
+(** [prepare ctx c] wraps [c] with memoized repair enumerations so that
+    scoring over many examples shares them; the memos are domain-safe. *)
 val prepare : Context.t -> Dlearn_logic.Clause.t -> prepared
 
 val covers_positive : Context.t -> prepared -> Dlearn_relation.Tuple.t -> bool
 
 (** [ground_target ctx entry] is the example's ground bottom clause
-    prepared for subsumption, cached in the entry. *)
+    prepared for subsumption, cached in the entry (under its lock). *)
 val ground_target :
+  Context.t -> Context.ground_entry -> Dlearn_logic.Subsumption.target
+
+(** [ground_repairs ctx entry] is the capped enumeration of the ground
+    clause's repaired clauses, cached in the entry (under its lock). *)
+val ground_repairs :
+  Context.t -> Context.ground_entry -> Dlearn_logic.Clause.t list
+
+(** [ground_repair_targets ctx entry] is {!ground_repairs} prepared for
+    subsumption, cached in the entry (under its lock). *)
+val ground_repair_targets :
+  Context.t -> Context.ground_entry -> Dlearn_logic.Subsumption.target list
+
+(** [prefilter_target ctx entry] is the ground clause's relational part
+    with merge equalities, prepared; cached in the entry (under its
+    lock). *)
+val prefilter_target :
   Context.t -> Context.ground_entry -> Dlearn_logic.Subsumption.target
 
 val covers_negative : Context.t -> prepared -> Dlearn_relation.Tuple.t -> bool
@@ -44,11 +66,23 @@ val covers_negative : Context.t -> prepared -> Dlearn_relation.Tuple.t -> bool
     repair literals as atoms (Theorem 4.9), and require every application
     of the clause to subsume some application of the ground clause. Kept
     for the ablation benchmark; [covers_positive] decides Definition 3.4
-    over full repairs when the fast path fails. *)
+    over full repairs when the fast path fails. [prefilter] (default
+    [true]) gates the enumeration behind the skeleton prefilter exactly
+    like [covers_positive]; it never changes the verdict. *)
 val covers_positive_cfd_split :
-  Context.t -> prepared -> Dlearn_relation.Tuple.t -> bool
+  ?prefilter:bool -> Context.t -> prepared -> Dlearn_relation.Tuple.t -> bool
 
-(** [coverage ctx p ~pos ~neg] counts covered positives and negatives. *)
+(** [covers_positive_batch ctx p es] is
+    [List.map (covers_positive ctx p) es] computed over the domain pool,
+    in input order. *)
+val covers_positive_batch :
+  Context.t -> prepared -> Dlearn_relation.Tuple.t list -> bool list
+
+val covers_negative_batch :
+  Context.t -> prepared -> Dlearn_relation.Tuple.t list -> bool list
+
+(** [coverage ctx p ~pos ~neg] counts covered positives and negatives,
+    fanning out over the context's domain pool. *)
 val coverage :
   Context.t ->
   prepared ->

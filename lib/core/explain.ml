@@ -25,7 +25,7 @@ let positive (ctx : Context.t) clause e =
       else begin
         (* Name the repaired-clause pair supporting each part of the
            Definition 3.4 check. *)
-        let crs = Lazy.force prepared.Coverage.repairs in
+        let crs = Dlearn_parallel.Memo.force prepared.Coverage.repairs in
         let grs =
           match entry.Context.repairs with Some rs -> rs | None -> []
         in

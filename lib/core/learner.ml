@@ -56,8 +56,12 @@ let refine ctx ~uncovered ~neg clause =
            []
       |> List.rev
     in
+    (* Candidates are scored across the domain pool; a worker's nested
+       coverage fan-out runs sequentially in place, so the parallelism is
+       one level deep whichever side has more work. Scores and ordering
+       are identical to the sequential path. *)
     let scored =
-      List.map
+      Dlearn_parallel.Pool.map_list (Context.pool ctx)
         (fun c ->
           let prep = Coverage.prepare ctx c in
           let cov = Coverage.coverage ctx prep ~pos:uncovered ~neg in
@@ -131,7 +135,9 @@ let learn ctx ~pos ~neg =
           in
           (* Re-score on the full negative set for the acceptance test. *)
           let n =
-            List.length (List.filter (Coverage.covers_negative ctx prepared) neg)
+            Dlearn_parallel.Pool.filter_count_list (Context.pool ctx)
+              (Coverage.covers_negative ctx prepared)
+              neg
           in
           let precision =
             if p + n = 0 then 0.0 else float_of_int p /. float_of_int (p + n)
@@ -139,7 +145,7 @@ let learn ctx ~pos ~neg =
           if p >= config.Config.min_pos && precision >= config.Config.min_precision
           then begin
             let still_uncovered =
-              List.filter
+              Dlearn_parallel.Pool.filter_list (Context.pool ctx)
                 (fun e -> not (Coverage.covers_positive ctx prepared e))
                 rest
             in

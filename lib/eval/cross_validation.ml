@@ -41,7 +41,11 @@ let folds ~k ~seed ~pos ~neg =
         test_neg;
       })
 
-let run ~k ~seed ~pos ~neg f = List.map f (folds ~k ~seed ~pos ~neg)
+let run ?pool ~k ~seed ~pos ~neg f =
+  let fs = folds ~k ~seed ~pos ~neg in
+  match pool with
+  | None -> List.map f fs
+  | Some pool -> Dlearn_parallel.Pool.map_list pool f fs
 
 let mean = function
   | [] -> 0.0

@@ -14,10 +14,18 @@ type 'a fold = {
     members. *)
 val folds : k:int -> seed:int -> pos:'a list -> neg:'a list -> 'a fold list
 
-(** [run ~k ~seed ~pos ~neg f] maps [f] over the folds and returns the
-    results in fold order. *)
+(** [run ?pool ~k ~seed ~pos ~neg f] maps [f] over the folds and returns
+    the results in fold order. With [pool], folds run across the domain
+    pool (nested fan-outs inside [f] fall back to their sequential path);
+    results and their order are identical to the sequential run. *)
 val run :
-  k:int -> seed:int -> pos:'a list -> neg:'a list -> ('a fold -> 'b) -> 'b list
+  ?pool:Dlearn_parallel.Pool.t ->
+  k:int ->
+  seed:int ->
+  pos:'a list ->
+  neg:'a list ->
+  ('a fold -> 'b) ->
+  'b list
 
 val mean : float list -> float
 

@@ -15,8 +15,14 @@ type run = {
 }
 
 let evaluate ?(folds = 5) system (w : Workload.t) =
+  (* Folds are independent (each builds its own context); they share the
+     domain pool with the coverage engine — whichever level fans out
+     first wins, the other runs sequentially inside it. *)
+  let pool =
+    Dlearn_parallel.Pool.get w.Workload.config.Config.num_domains
+  in
   let fold_results =
-    Cross_validation.run ~k:folds ~seed:w.Workload.config.Config.seed
+    Cross_validation.run ~pool ~k:folds ~seed:w.Workload.config.Config.seed
       ~pos:w.Workload.pos ~neg:w.Workload.neg (fun fold ->
         let ctx =
           Baselines.make_context system w.Workload.config w.Workload.db
@@ -62,6 +68,9 @@ let evaluate ?(folds = 5) system (w : Workload.t) =
 let with_config (w : Workload.t) f = { w with Workload.config = f w.Workload.config }
 let with_km w km = with_config w (fun c -> { c with Config.km })
 let with_depth w depth = with_config w (fun c -> { c with Config.depth })
+
+let with_jobs w jobs =
+  with_config w (fun c -> { c with Config.num_domains = max 1 jobs })
 
 let with_sample_size w sample_size =
   with_config w (fun c -> { c with Config.sample_size })

@@ -25,6 +25,10 @@ val with_km : Workload.t -> int -> Workload.t
 (** [with_depth w d] sets the bottom-clause iteration count. *)
 val with_depth : Workload.t -> int -> Workload.t
 
+(** [with_jobs w n] sets the domain count used by coverage and fold
+    fan-out (clamped to at least 1; 1 = sequential). *)
+val with_jobs : Workload.t -> int -> Workload.t
+
 (** [with_sample_size w s] sets the per-relation literal cap. *)
 val with_sample_size : Workload.t -> int -> Workload.t
 

@@ -33,16 +33,29 @@ let prepare (d : Clause.t) =
   let rels_by_pred = Hashtbl.create 16 in
   let repairs_by_origin = Hashtbl.create 16 in
   let sim_ids = ref [] in
+  (* Cons per literal, one reversal per bucket afterwards: buckets come
+     out in ascending literal id, i.e. candidates enumerate in the target
+     clause's body order (head first) — pinned by a test. The old scheme
+     re-read each bucket through the table on every push. *)
   let push tbl key id =
-    Hashtbl.replace tbl key (id :: (Option.value ~default:[] (Hashtbl.find_opt tbl key)))
+    match Hashtbl.find_opt tbl key with
+    | Some ids -> ids := id :: !ids
+    | None -> Hashtbl.add tbl key (ref [ id ])
   in
+  let staged_rels = Hashtbl.create 16 in
+  let staged_repairs = Hashtbl.create 16 in
   for id = 0 to n - 1 do
     match d_literals.(id) with
-    | Literal.Rel { pred; _ } -> push rels_by_pred pred id
-    | Literal.Repair r -> push repairs_by_origin (Literal.origin_to_string r.origin) id
+    | Literal.Rel { pred; _ } -> push staged_rels pred id
+    | Literal.Repair r -> push staged_repairs (Literal.origin_to_string r.origin) id
     | Literal.Sim _ -> sim_ids := id :: !sim_ids
     | Literal.Eq _ | Literal.Neq _ -> ()
   done;
+  Hashtbl.iter (fun k ids -> Hashtbl.replace rels_by_pred k (List.rev !ids)) staged_rels;
+  Hashtbl.iter
+    (fun k ids -> Hashtbl.replace repairs_by_origin k (List.rev !ids))
+    staged_repairs;
+  sim_ids := List.rev !sim_ids;
   (* Connectivity of repair literals (Def. 4.4): a repair literal is
      connected to a non-repair literal L when its subject or replacement
      occurs in L, or occurs in the arguments of a repair literal connected

@@ -1,0 +1,32 @@
+type 'a state =
+  | Unforced of (unit -> 'a)
+  | Forced of 'a
+  | Raised of exn
+
+type 'a t = {
+  m : Mutex.t;
+  mutable state : 'a state;
+}
+
+let make f = { m = Mutex.create (); state = Unforced f }
+let return v = { m = Mutex.create (); state = Forced v }
+
+let force t =
+  Mutex.protect t.m (fun () ->
+      match t.state with
+      | Forced v -> v
+      | Raised e -> raise e
+      | Unforced f -> (
+          match f () with
+          | v ->
+              t.state <- Forced v;
+              v
+          | exception e ->
+              t.state <- Raised e;
+              raise e))
+
+let is_forced t =
+  Mutex.protect t.m (fun () ->
+      match t.state with
+      | Forced _ | Raised _ -> true
+      | Unforced _ -> false)

@@ -1,0 +1,25 @@
+(** A mutex-guarded memoized thunk: [Lazy.t] that is safe to force from
+    several domains.
+
+    [Lazy.force] raises [Lazy.Undefined] when two domains race on one
+    suspension, which is exactly the access pattern of the coverage
+    engine's shared per-clause caches. [Memo.force] instead blocks the
+    losers until the winner has computed, so every domain observes the
+    same (physically equal) value and the computation runs once.
+
+    The thunk must not force its own cell (self-deadlock, like the
+    recursive forcing [Lazy] reports as [Undefined]). An exception raised
+    by the thunk is cached and re-raised on every force. *)
+
+type 'a t
+
+val make : (unit -> 'a) -> 'a t
+
+(** A cell that is already forced; [force] never blocks. *)
+val return : 'a -> 'a t
+
+val force : 'a t -> 'a
+
+(** [is_forced t] is [true] once a [force] has completed (also when the
+    thunk raised). Used by tests to pin which coverage branches ran. *)
+val is_forced : 'a t -> bool

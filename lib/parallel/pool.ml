@@ -1,0 +1,274 @@
+let src = Logs.Src.create "dlearn.pool" ~doc:"Domain pool counters"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* One batch of chunks. [next] hands out chunk indexes, [completed] counts
+   finished ones; the first exception wins the [failed] slot and is
+   re-raised by the submitter once the batch drains. *)
+type job = {
+  run : int -> unit;
+  num_chunks : int;
+  next : int Atomic.t;
+  completed : int Atomic.t;
+  failed : (exn * Printexc.raw_backtrace) option Atomic.t;
+}
+
+type t = {
+  size : int; (* participating domains, including the submitter *)
+  mutable workers : unit Domain.t list;
+  m : Mutex.t; (* guards job/generation/stopping *)
+  cond : Condition.t; (* job arrival and shutdown *)
+  done_m : Mutex.t;
+  done_c : Condition.t; (* batch completion *)
+  mutable job : job option;
+  mutable generation : int;
+  mutable stopping : bool;
+  submit_m : Mutex.t; (* serializes submitters *)
+  (* counters *)
+  mutable tasks : int;
+  chunks_run : int Atomic.t;
+  items_run : int Atomic.t;
+  busy : float array; (* slot 0 = submitter, 1.. = workers *)
+}
+
+type stats = {
+  domains : int;
+  tasks : int;
+  chunks : int;
+  items : int;
+  busy_seconds : float array;
+}
+
+(* True while this domain is executing a pool task; nested batches fall
+   back to the sequential path instead of deadlocking on the pool. *)
+let inside : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
+let in_worker () = !(Domain.DLS.get inside)
+
+(* Claim and run chunks until the batch is drained. Runs in workers and in
+   the submitting domain alike. *)
+let participate pool job slot =
+  let t0 = Unix.gettimeofday () in
+  let flag = Domain.DLS.get inside in
+  let previously = !flag in
+  flag := true;
+  let rec claim () =
+    let i = Atomic.fetch_and_add job.next 1 in
+    if i < job.num_chunks then begin
+      (try job.run i
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         ignore (Atomic.compare_and_set job.failed None (Some (e, bt))));
+      Atomic.incr pool.chunks_run;
+      let finished = 1 + Atomic.fetch_and_add job.completed 1 in
+      if finished = job.num_chunks then begin
+        Mutex.lock pool.done_m;
+        Condition.broadcast pool.done_c;
+        Mutex.unlock pool.done_m
+      end;
+      claim ()
+    end
+  in
+  claim ();
+  flag := previously;
+  pool.busy.(slot) <- pool.busy.(slot) +. (Unix.gettimeofday () -. t0)
+
+let worker_loop pool slot =
+  let seen = ref 0 in
+  let rec loop () =
+    Mutex.lock pool.m;
+    while (not pool.stopping) && pool.generation = !seen do
+      Condition.wait pool.cond pool.m
+    done;
+    if pool.stopping then Mutex.unlock pool.m
+    else begin
+      seen := pool.generation;
+      let job = pool.job in
+      Mutex.unlock pool.m;
+      (match job with Some j -> participate pool j slot | None -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~num_domains =
+  let size = max 1 num_domains in
+  let pool =
+    {
+      size;
+      workers = [];
+      m = Mutex.create ();
+      cond = Condition.create ();
+      done_m = Mutex.create ();
+      done_c = Condition.create ();
+      job = None;
+      generation = 0;
+      stopping = false;
+      submit_m = Mutex.create ();
+      tasks = 0;
+      chunks_run = Atomic.make 0;
+      items_run = Atomic.make 0;
+      busy = Array.make size 0.0;
+    }
+  in
+  pool.workers <-
+    List.init (size - 1) (fun i ->
+        Domain.spawn (fun () -> worker_loop pool (i + 1)));
+  pool
+
+let num_domains pool = pool.size
+
+let stats pool =
+  {
+    domains = pool.size;
+    tasks = pool.tasks;
+    chunks = Atomic.get pool.chunks_run;
+    items = Atomic.get pool.items_run;
+    busy_seconds = Array.copy pool.busy;
+  }
+
+let log_stats pool =
+  let s = stats pool in
+  Log.debug (fun m ->
+      m "pool[%d domains]: %d tasks, %d chunks, %d items, busy %s" s.domains
+        s.tasks s.chunks s.items
+        (String.concat "/"
+           (Array.to_list
+              (Array.map (fun b -> Printf.sprintf "%.2fs" b) s.busy_seconds))))
+
+let shutdown pool =
+  let workers =
+    Mutex.protect pool.m (fun () ->
+        if pool.stopping then []
+        else begin
+          pool.stopping <- true;
+          Condition.broadcast pool.cond;
+          let ws = pool.workers in
+          pool.workers <- [];
+          ws
+        end)
+  in
+  List.iter Domain.join workers;
+  if workers <> [] then log_stats pool
+
+(* Publish the job, work on it, then wait for stragglers. The submit lock
+   keeps concurrent submitters (and their jobs) strictly ordered. *)
+let run_job pool job =
+  Mutex.lock pool.submit_m;
+  pool.tasks <- pool.tasks + 1;
+  Mutex.lock pool.m;
+  pool.job <- Some job;
+  pool.generation <- pool.generation + 1;
+  Condition.broadcast pool.cond;
+  Mutex.unlock pool.m;
+  participate pool job 0;
+  Mutex.lock pool.done_m;
+  while Atomic.get job.completed < job.num_chunks do
+    Condition.wait pool.done_c pool.done_m
+  done;
+  Mutex.unlock pool.done_m;
+  Mutex.unlock pool.submit_m;
+  match Atomic.get job.failed with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+(* Chunks per participant: small enough to even out skewed item costs,
+   large enough to keep the claim counter off the hot path. *)
+let chunking = 8
+
+let sequential pool = pool.size <= 1 || in_worker ()
+
+let map pool f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else if sequential pool || n < 2 then Array.map f arr
+  else begin
+    let results = Array.make n None in
+    let chunk_size = max 1 (n / (pool.size * chunking)) in
+    let num_chunks = (n + chunk_size - 1) / chunk_size in
+    let run i =
+      let lo = i * chunk_size in
+      let hi = min n (lo + chunk_size) in
+      for j = lo to hi - 1 do
+        results.(j) <- Some (f arr.(j))
+      done;
+      ignore (Atomic.fetch_and_add pool.items_run (hi - lo))
+    in
+    run_job pool
+      {
+        run;
+        num_chunks;
+        next = Atomic.make 0;
+        completed = Atomic.make 0;
+        failed = Atomic.make None;
+      };
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let iter pool f arr = ignore (map pool (fun x -> f x) arr)
+
+let filter_count pool p arr =
+  let n = Array.length arr in
+  if sequential pool || n < 2 then
+    Array.fold_left (fun acc x -> if p x then acc + 1 else acc) 0 arr
+  else begin
+    let total = Atomic.make 0 in
+    let chunk_size = max 1 (n / (pool.size * chunking)) in
+    let num_chunks = (n + chunk_size - 1) / chunk_size in
+    let run i =
+      let lo = i * chunk_size in
+      let hi = min n (lo + chunk_size) in
+      let count = ref 0 in
+      for j = lo to hi - 1 do
+        if p arr.(j) then incr count
+      done;
+      ignore (Atomic.fetch_and_add total !count);
+      ignore (Atomic.fetch_and_add pool.items_run (hi - lo))
+    in
+    run_job pool
+      {
+        run;
+        num_chunks;
+        next = Atomic.make 0;
+        completed = Atomic.make 0;
+        failed = Atomic.make None;
+      };
+    Atomic.get total
+  end
+
+let map_list pool f l = Array.to_list (map pool f (Array.of_list l))
+
+let filter_count_list pool p l = filter_count pool p (Array.of_list l)
+
+let filter_list pool p l =
+  let arr = Array.of_list l in
+  let keep = map pool p arr in
+  let out = ref [] in
+  for i = Array.length arr - 1 downto 0 do
+    if keep.(i) then out := arr.(i) :: !out
+  done;
+  !out
+
+(* Process-wide pools, one per size, shut down at exit so no domain is
+   left blocked on a condition variable when the runtime tears down. *)
+let registry : (int, t) Hashtbl.t = Hashtbl.create 4
+let registry_m = Mutex.create ()
+let at_exit_installed = ref false
+
+let get num_domains =
+  let size = max 1 num_domains in
+  Mutex.protect registry_m (fun () ->
+      match Hashtbl.find_opt registry size with
+      | Some pool -> pool
+      | None ->
+          let pool = create ~num_domains:size in
+          Hashtbl.add registry size pool;
+          if not !at_exit_installed then begin
+            at_exit_installed := true;
+            at_exit (fun () ->
+                let pools =
+                  Mutex.protect registry_m (fun () ->
+                      Hashtbl.fold (fun _ p acc -> p :: acc) registry [])
+                in
+                List.iter shutdown pools)
+          end;
+          pool)

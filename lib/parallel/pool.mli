@@ -1,0 +1,82 @@
+(** A fixed-size domain pool for data-parallel fan-out (OCaml 5 domains).
+
+    The pool owns [num_domains - 1] worker domains; the submitting domain
+    participates in every batch, so a pool of size [n] computes with [n]
+    domains in total. Batches are split into chunks claimed from a shared
+    atomic counter, which balances load when per-item cost is skewed (as
+    it is for coverage checks, where one example may trigger a full repair
+    enumeration while its neighbours hit the fast path).
+
+    Guarantees:
+    - {b Deterministic ordering}: [map] writes each result at its input
+      index, so the output is identical to the sequential [Array.map]
+      regardless of which domain computed which chunk. [filter_count]
+      returns the same count as the sequential filter.
+    - {b Exception propagation}: if any item raises, one of the raised
+      exceptions is re-raised (with its backtrace) in the submitting
+      domain after the batch drains. Remaining chunks still run.
+    - {b Reentrancy}: a batch submitted from inside a pool task (any
+      domain, including the submitter while it participates) runs
+      sequentially in place instead of deadlocking on the pool.
+    - {b Sequential path}: a pool of size [<= 1] spawns no domains and
+      runs every batch as a plain sequential loop — bit-for-bit the
+      pre-parallelism behaviour. *)
+
+type t
+
+(** [create ~num_domains] spawns [max 0 (num_domains - 1)] worker
+    domains. Workers block on a condition variable between batches and
+    consume no CPU while idle. *)
+val create : num_domains:int -> t
+
+(** Total participating domains, including the submitter; [1] means the
+    pool is purely sequential. *)
+val num_domains : t -> int
+
+(** [get n] returns the process-wide shared pool of size [n], creating it
+    on first use. Pools obtained this way are shut down automatically at
+    exit. Use this rather than [create] when several subsystems (coverage,
+    learner, experiments) should share one set of worker domains. *)
+val get : int -> t
+
+(** [in_worker ()] is [true] while the calling domain is executing a pool
+    task. Exposed for code that must pick a sequential code path when it
+    may be called from inside a fan-out. *)
+val in_worker : unit -> bool
+
+(** [map pool f arr] is [Array.map f arr] computed in parallel with
+    deterministic result ordering. *)
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [filter_count pool p arr] is the number of elements satisfying [p]. *)
+val filter_count : t -> ('a -> bool) -> 'a array -> int
+
+val filter_count_list : t -> ('a -> bool) -> 'a list -> int
+
+(** [filter_list pool p l] keeps the elements satisfying [p], in their
+    original order ([p] is evaluated in parallel, once per element). *)
+val filter_list : t -> ('a -> bool) -> 'a list -> 'a list
+
+(** [iter pool f arr] runs [f] on every element, in parallel. *)
+val iter : t -> ('a -> unit) -> 'a array -> unit
+
+(** Cumulative counters since pool creation. [busy_seconds.(0)] is the
+    submitting side; slots [1..] are the workers. *)
+type stats = {
+  domains : int;
+  tasks : int;  (** batches submitted *)
+  chunks : int;  (** chunks claimed and run *)
+  items : int;  (** items processed *)
+  busy_seconds : float array;
+}
+
+val stats : t -> stats
+
+(** Log the counters on the [dlearn.pool] source at debug level. *)
+val log_stats : t -> unit
+
+(** Stop the workers and join them. The pool must not be used afterwards;
+    idempotent. Pools from {!get} are shut down at exit automatically. *)
+val shutdown : t -> unit

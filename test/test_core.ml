@@ -373,27 +373,29 @@ let resolve_tests =
           (Relation.holds_value movies0 1 (sv "Superbad (2007)")));
   ]
 
+(* A locale relation violating a CFD, so CFD repair literals appear in
+   bottom clauses. *)
+let violating_db () =
+  let db = toy_db () in
+  let locale =
+    Database.create_relation db
+      (Schema.string_attrs "locale" [ "id"; "language"; "country" ])
+  in
+  Relation.insert_all locale
+    [
+      Tuple.of_strings [ "m1"; "English"; "USA" ];
+      Tuple.of_strings [ "m1"; "English"; "Ireland" ];
+      Tuple.of_strings [ "m2"; "English"; "USA" ];
+    ];
+  db
+
+let phi =
+  Cfd.make ~id:"phi" ~relation:"locale"
+    ~lhs:[ ("id", Cfd.Wildcard); ("language", Cfd.Const (sv "English")) ]
+    ~rhs:("country", Cfd.Wildcard)
+
 (* CFD repair literals inside bottom clauses. *)
 let cfd_tests =
-  let violating_db () =
-    let db = toy_db () in
-    let locale =
-      Database.create_relation db
-        (Schema.string_attrs "locale" [ "id"; "language"; "country" ])
-    in
-    Relation.insert_all locale
-      [
-        Tuple.of_strings [ "m1"; "English"; "USA" ];
-        Tuple.of_strings [ "m1"; "English"; "Ireland" ];
-        Tuple.of_strings [ "m2"; "English"; "USA" ];
-      ];
-    db
-  in
-  let phi =
-    Cfd.make ~id:"phi" ~relation:"locale"
-      ~lhs:[ ("id", Cfd.Wildcard); ("language", Cfd.Const (sv "English")) ]
-      ~rhs:("country", Cfd.Wildcard)
-  in
   [
     Alcotest.test_case "violating pair yields a CFD repair group" `Quick
       (fun () ->
@@ -438,6 +440,111 @@ let cfd_tests =
         let result = Learner.learn ctx ~pos:positives ~neg:negatives in
         Alcotest.(check bool) "definition nonempty" false
           (Definition.is_empty result.Learner.definition));
+  ]
+
+(* Which internal branch a coverage check takes is observable through the
+   memo cells of the prepared clause: the fast path and the prefilter
+   both decide before the repair enumeration is forced. Each test pins
+   one branch of Coverage.covers_positive / covers_positive_cfd_split. *)
+let coverage_branch_tests =
+  let module Memo = Dlearn_parallel.Memo in
+  let cfd_ctx () =
+    Context.create (toy_config ()) (violating_db ()) [ md_title ] [ phi ]
+  in
+  [
+    Alcotest.test_case "fast path decides without repair enumeration" `Quick
+      (fun () ->
+        let ctx = toy_ctx () in
+        let bottom = Bottom_clause.build ctx Bottom_clause.Variable (ex "m1") in
+        let prep = Coverage.prepare ctx bottom in
+        Alcotest.(check bool) "covers own example" true
+          (Coverage.covers_positive ctx prep (ex "m1"));
+        Alcotest.(check bool) "repairs never forced" false
+          (Memo.is_forced prep.Coverage.repairs);
+        Alcotest.(check bool) "skeleton never forced" false
+          (Memo.is_forced prep.Coverage.skeleton));
+    Alcotest.test_case "prefilter rejects before repair enumeration" `Quick
+      (fun () ->
+        (* m2's ground clause has no R-rated bom_ratings row, so the hand
+           clause's skeleton cannot match: the prefilter must reject
+           without ever enumerating repairs. *)
+        let ctx = toy_ctx () in
+        let prep = Coverage.prepare ctx (hand_clause ()) in
+        Alcotest.(check bool) "m2 not covered" false
+          (Coverage.covers_positive ctx prep (ex "m2"));
+        Alcotest.(check bool) "skeleton forced" true
+          (Memo.is_forced prep.Coverage.skeleton);
+        Alcotest.(check bool) "repairs never forced" false
+          (Memo.is_forced prep.Coverage.repairs));
+    Alcotest.test_case "empty repair enumeration short-circuits to false"
+      `Quick (fun () ->
+        (* At threshold 0.6 m2 is genuinely covered (see the semantics
+           suite); capping the repair enumeration at zero results empties
+           crs, and the for-all over an empty set must NOT claim
+           coverage. *)
+        let config =
+          {
+            (toy_config ()) with
+            Config.sim = { Md.default_sim with Md.threshold = 0.6 };
+            repair_result_cap = 0;
+          }
+        in
+        let ctx = toy_ctx ~config () in
+        let prep = Coverage.prepare ctx (hand_clause ()) in
+        Alcotest.(check bool) "empty crs means uncovered" false
+          (Coverage.covers_positive ctx prep (ex "m2"));
+        Alcotest.(check bool) "repairs forced" true
+          (Memo.is_forced prep.Coverage.repairs);
+        Alcotest.(check int) "enumeration is empty" 0
+          (List.length (Memo.force prep.Coverage.repairs)));
+    Alcotest.test_case "cfd_split enumerates with CFD repairs on one side"
+      `Quick (fun () ->
+        (* The hand clause carries no CFD repair literal, but m1's ground
+           clause does (the violating locale pair): the split procedure
+           must fall through to the CFD-application enumeration and still
+           accept. *)
+        let ctx = cfd_ctx () in
+        let prep = Coverage.prepare ctx (hand_clause ()) in
+        Alcotest.(check bool) "m1 covered" true
+          (Coverage.covers_positive_cfd_split ctx prep (ex "m1"));
+        Alcotest.(check bool) "cfd applications enumerated" true
+          (Memo.is_forced prep.Coverage.cfd_apps);
+        let prep = Coverage.prepare ctx (hand_clause ()) in
+        Alcotest.(check bool) "m2 still rejected" false
+          (Coverage.covers_positive_cfd_split ctx prep (ex "m2")));
+    Alcotest.test_case "cfd_split agrees with covers_positive verdicts" `Quick
+      (fun () ->
+        let ctx = cfd_ctx () in
+        List.iter
+          (fun id ->
+            let prep = Coverage.prepare ctx (hand_clause ()) in
+            Alcotest.(check bool)
+              ("same verdict on " ^ id)
+              (Coverage.covers_positive ctx prep (ex id))
+              (Coverage.covers_positive_cfd_split ctx prep (ex id)))
+          [ "m1"; "m2"; "m3"; "m4" ]);
+    Alcotest.test_case "cfd_split prefilter leaves every verdict unchanged"
+      `Quick (fun () ->
+        let ctx = cfd_ctx () in
+        let clauses =
+          [
+            ("hand", hand_clause ());
+            ("bottom", Bottom_clause.build ctx Bottom_clause.Variable (ex "m1"));
+          ]
+        in
+        List.iter
+          (fun (name, clause) ->
+            List.iter
+              (fun id ->
+                let with_pf = Coverage.prepare ctx clause in
+                let without_pf = Coverage.prepare ctx clause in
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s on %s" name id)
+                  (Coverage.covers_positive_cfd_split ~prefilter:false ctx
+                     without_pf (ex id))
+                  (Coverage.covers_positive_cfd_split ctx with_pf (ex id)))
+              [ "m1"; "m2"; "m3"; "m4" ])
+          clauses);
   ]
 
 (* Theorem 4.11 (commutativity of cleaning and learning), on the paper's
@@ -720,6 +827,7 @@ let () =
       ("learner", learner_tests);
       ("baselines", resolve_tests);
       ("cfd", cfd_tests);
+      ("coverage_branches", coverage_branch_tests);
       ("commutativity", commutativity_tests);
       ("semantics", semantics_tests);
       ("weighting", weighting_tests);

@@ -325,6 +325,53 @@ let subsumption_tests =
         in
         Alcotest.(check bool) "succeeds with matching repairs" true
           (Subsumption.subsumes_bool c_with d));
+    Alcotest.test_case "first-match witness follows body order" `Quick
+      (fun () ->
+        (* Subsumption.prepare buckets the target's literals by predicate
+           (and repair origin) in body order, so the backtracking search
+           tries the earlier literal first and the witness substitution is
+           deterministic. Pins the candidate-enumeration order that the
+           cons-then-reverse accumulation in [prepare] produces. *)
+        let c =
+          Clause.make ~head:(rel "q" [ v "h" ]) [ rel "p" [ v "x" ] ]
+        in
+        let d =
+          Clause.make ~head:(rel "q" [ s "a" ]) [ rel "p" [ s "b" ]; rel "p" [ s "c" ] ]
+        in
+        (match Subsumption.subsumes_target c (Subsumption.prepare d) with
+        | Subsumption.Subsumed theta ->
+            Alcotest.(check bool) "x binds the first p literal" true
+              (Substitution.find theta "x" = Some (s "b"))
+        | _ -> Alcotest.fail "expected subsumption");
+        (* Same order through repair-atom buckets. *)
+        let mk subject replacement =
+          Literal.Repair
+            {
+              origin = Literal.From_md "m";
+              group = 0;
+              cond = [];
+              subject;
+              replacement;
+              drops = [];
+            }
+        in
+        let c =
+          Clause.make ~head:(rel "q" [ v "h" ]) [ mk (v "u") (v "r") ]
+        in
+        let d =
+          Clause.make
+            ~head:(rel "q" [ s "a" ])
+            [ mk (s "b") (s "vb"); mk (s "c") (s "vc") ]
+        in
+        match
+          Subsumption.subsumes_target ~repair_connectivity:false c
+            (Subsumption.prepare d)
+        with
+        | Subsumption.Subsumed theta ->
+            Alcotest.(check bool) "u binds the first repair literal" true
+              (Substitution.find theta "u" = Some (s "b")
+              && Substitution.find theta "r" = Some (s "vb"))
+        | _ -> Alcotest.fail "expected subsumption over repair atoms");
     Alcotest.test_case "budget exhaustion is reported" `Quick (fun () ->
         let c =
           Clause.make

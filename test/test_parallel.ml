@@ -1,0 +1,471 @@
+(* The parallel-vs-sequential equivalence suite.
+
+   The pool promises bit-for-bit the sequential results (pool.mli); the
+   coverage engine promises that fanning out over domains never changes a
+   verdict (coverage.mli). Both promises are checked here: pool unit
+   tests against the stdlib sequential combinators, a QCheck property
+   comparing [Coverage.coverage] at num_domains ∈ {2, 4, 8} against the
+   num_domains = 1 path on random clauses and example multisets (MD and
+   CFD repair literals both exercised), and stress tests that hammer the
+   shared memo cells from many domains to catch races that a single
+   deterministic interleaving would miss. *)
+
+open Dlearn_relation
+open Dlearn_constraints
+open Dlearn_logic
+open Dlearn_core
+module Pool = Dlearn_parallel.Pool
+module Memo = Dlearn_parallel.Memo
+
+let sv s = Value.String s
+
+(* ------------------------------------------------------------------ *)
+(* Pool unit tests                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let pool_sizes = [ 1; 2; 4; 8 ]
+
+let pool_tests =
+  [
+    Alcotest.test_case "map equals Array.map at every size" `Quick (fun () ->
+        List.iter
+          (fun n ->
+            let pool = Pool.get n in
+            List.iter
+              (fun len ->
+                let arr = Array.init len (fun i -> i) in
+                let expected = Array.map (fun x -> (x * 7) + 3) arr in
+                let got = Pool.map pool (fun x -> (x * 7) + 3) arr in
+                Alcotest.(check (array int))
+                  (Printf.sprintf "pool %d, len %d" n len)
+                  expected got)
+              [ 0; 1; 2; 7; 64; 257 ])
+          pool_sizes);
+    Alcotest.test_case "map_list preserves input order" `Quick (fun () ->
+        let pool = Pool.get 4 in
+        let l = List.init 100 (fun i -> 99 - i) in
+        Alcotest.(check (list int))
+          "same order" (List.map succ l)
+          (Pool.map_list pool succ l));
+    Alcotest.test_case "filter_count equals sequential count" `Quick (fun () ->
+        List.iter
+          (fun n ->
+            let pool = Pool.get n in
+            let arr = Array.init 1000 (fun i -> i) in
+            let p x = x mod 3 = 0 in
+            let expected =
+              Array.fold_left (fun acc x -> if p x then acc + 1 else acc) 0 arr
+            in
+            Alcotest.(check int)
+              (Printf.sprintf "pool %d" n)
+              expected
+              (Pool.filter_count pool p arr))
+          pool_sizes);
+    Alcotest.test_case "filter_list keeps order" `Quick (fun () ->
+        let pool = Pool.get 8 in
+        let l = List.init 200 (fun i -> i) in
+        let p x = x mod 7 < 3 in
+        Alcotest.(check (list int))
+          "same elements, same order" (List.filter p l)
+          (Pool.filter_list pool p l));
+    Alcotest.test_case "iter visits every element once" `Quick (fun () ->
+        let pool = Pool.get 4 in
+        let counters = Array.init 500 (fun _ -> Atomic.make 0) in
+        Pool.iter pool
+          (fun i -> Atomic.incr counters.(i))
+          (Array.init 500 (fun i -> i));
+        Alcotest.(check bool) "each exactly once" true
+          (Array.for_all (fun c -> Atomic.get c = 1) counters));
+    Alcotest.test_case "exceptions propagate to the submitter" `Quick
+      (fun () ->
+        List.iter
+          (fun n ->
+            let pool = Pool.get n in
+            let raised =
+              try
+                ignore
+                  (Pool.map pool
+                     (fun x -> if x = 61 then failwith "boom" else x)
+                     (Array.init 100 (fun i -> i)));
+                false
+              with Failure msg -> msg = "boom"
+            in
+            Alcotest.(check bool)
+              (Printf.sprintf "pool %d re-raises" n)
+              true raised;
+            (* The pool survives a failed batch. *)
+            Alcotest.(check int) "still works" 10
+              (Pool.filter_count pool
+                 (fun x -> x < 10)
+                 (Array.init 100 (fun i -> i))))
+          pool_sizes);
+    Alcotest.test_case "nested submission falls back sequentially" `Quick
+      (fun () ->
+        let pool = Pool.get 4 in
+        let inner = Array.init 20 (fun i -> i) in
+        let got =
+          Pool.map pool
+            (fun x ->
+              Array.fold_left ( + ) 0 (Pool.map pool (fun y -> x * y) inner))
+            (Array.init 30 (fun i -> i))
+        in
+        let expected =
+          Array.init 30 (fun x ->
+              Array.fold_left ( + ) 0 (Array.map (fun y -> x * y) inner))
+        in
+        Alcotest.(check (array int)) "no deadlock, same result" expected got);
+    Alcotest.test_case "stats counters advance" `Quick (fun () ->
+        let pool = Pool.get 2 in
+        let before = Pool.stats pool in
+        ignore (Pool.map pool succ (Array.init 64 (fun i -> i)));
+        let after = Pool.stats pool in
+        Alcotest.(check int) "domains" 2 after.Pool.domains;
+        Alcotest.(check bool) "one more task" true
+          (after.Pool.tasks = before.Pool.tasks + 1);
+        Alcotest.(check bool) "items counted" true
+          (after.Pool.items >= before.Pool.items + 64);
+        Alcotest.(check bool) "chunks counted" true
+          (after.Pool.chunks > before.Pool.chunks);
+        Alcotest.(check int) "busy slots" 2
+          (Array.length after.Pool.busy_seconds));
+    Alcotest.test_case "get shares one pool per size" `Quick (fun () ->
+        Alcotest.(check bool) "same pool" true (Pool.get 4 == Pool.get 4);
+        Alcotest.(check int) "size respected" 4 (Pool.num_domains (Pool.get 4));
+        Alcotest.(check int) "sequential pool" 1 (Pool.num_domains (Pool.get 1)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Memo stress                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let memo_tests =
+  [
+    Alcotest.test_case "concurrent force runs the thunk once" `Quick (fun () ->
+        for _round = 1 to 20 do
+          let runs = Atomic.make 0 in
+          let cell =
+            Memo.make (fun () ->
+                Atomic.incr runs;
+                (* widen the race window *)
+                ignore (Sys.opaque_identity (Array.make 1000 0));
+                ref 42)
+          in
+          let domains =
+            List.init 8 (fun _ -> Domain.spawn (fun () -> Memo.force cell))
+          in
+          let results = List.map Domain.join domains in
+          Alcotest.(check int) "thunk ran once" 1 (Atomic.get runs);
+          let first = List.hd results in
+          List.iter
+            (fun r ->
+              Alcotest.(check bool) "physically equal" true (r == first))
+            results
+        done);
+    Alcotest.test_case "raised thunks cache the exception" `Quick (fun () ->
+        let runs = Atomic.make 0 in
+        let cell =
+          Memo.make (fun () ->
+              Atomic.incr runs;
+              failwith "memo-boom")
+        in
+        let attempt () =
+          try Memo.force cell
+          with Failure msg when msg = "memo-boom" -> 0
+        in
+        ignore (attempt ());
+        ignore (attempt ());
+        Alcotest.(check int) "thunk ran once" 1 (Atomic.get runs);
+        Alcotest.(check bool) "is_forced after raise" true (Memo.is_forced cell));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Toy workload (mirrors test_core.ml)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let toy_db () =
+  let db = Database.create () in
+  let movies =
+    Database.create_relation db
+      (Schema.string_attrs "imdb_movies" [ "id"; "title"; "year" ])
+  in
+  Relation.insert_all movies
+    [
+      Tuple.of_strings [ "m1"; "Superbad (2007)"; "y2007" ];
+      Tuple.of_strings [ "m2"; "Zoolander (2001)"; "y2001" ];
+      Tuple.of_strings [ "m3"; "The Orphanage (2007)"; "y2007" ];
+      Tuple.of_strings [ "m4"; "Alien (1979)"; "y1979" ];
+    ];
+  let genres =
+    Database.create_relation db
+      (Schema.string_attrs "imdb_genres" [ "id"; "genre" ])
+  in
+  Relation.insert_all genres
+    [
+      Tuple.of_strings [ "m1"; "comedy" ];
+      Tuple.of_strings [ "m2"; "comedy" ];
+      Tuple.of_strings [ "m3"; "drama" ];
+      Tuple.of_strings [ "m4"; "scifi" ];
+    ];
+  let ratings =
+    Database.create_relation db
+      (Schema.string_attrs "bom_ratings" [ "title"; "rating" ])
+  in
+  Relation.insert_all ratings
+    [
+      Tuple.of_strings [ "Superbad [2007]"; "R" ];
+      Tuple.of_strings [ "Zoolander [2001]"; "PG-13" ];
+      Tuple.of_strings [ "The Orphanage [2007]"; "R" ];
+      Tuple.of_strings [ "Alien [1979]"; "R" ];
+    ];
+  db
+
+(* A locale relation violating a CFD, so CFD repair literals appear in
+   the bottom clauses (see test_core.ml's cfd suite). *)
+let violating_db () =
+  let db = toy_db () in
+  let locale =
+    Database.create_relation db
+      (Schema.string_attrs "locale" [ "id"; "language"; "country" ])
+  in
+  Relation.insert_all locale
+    [
+      Tuple.of_strings [ "m1"; "English"; "USA" ];
+      Tuple.of_strings [ "m1"; "English"; "Ireland" ];
+      Tuple.of_strings [ "m2"; "English"; "USA" ];
+    ];
+  db
+
+let phi =
+  Cfd.make ~id:"phi" ~relation:"locale"
+    ~lhs:[ ("id", Cfd.Wildcard); ("language", Cfd.Const (sv "English")) ]
+    ~rhs:("country", Cfd.Wildcard)
+
+let md_title =
+  Md.make ~id:"title_md" ~left:"imdb_movies" ~right:"bom_ratings"
+    ~compared:[ ("title", "title") ] ~unified:("title", "title") ()
+
+let target = Schema.string_attrs "restricted" [ "id" ]
+
+let toy_config ~jobs ~threshold =
+  {
+    (Config.default ~target) with
+    Config.constant_attrs =
+      [ ("bom_ratings", "rating"); ("imdb_genres", "genre") ];
+    sim = { Md.default_sim with Md.threshold };
+    min_pos = 2;
+    sample_positives = 4;
+    num_domains = jobs;
+  }
+
+let ex id = Tuple.of_strings [ id ]
+let examples = [| ex "m1"; ex "m2"; ex "m3"; ex "m4" |]
+
+let hand_clause () =
+  let v0 = Term.var "x0" and vt = Term.var "xt" and vy = Term.var "xy" in
+  let vt2 = Term.var "xt2" in
+  let r0 = Term.var "rr0" and r1 = Term.var "rr1" in
+  let sim = Literal.Sim (vt, vt2) in
+  let mk_repair subject replacement =
+    Literal.Repair
+      {
+        origin = Literal.From_md "title_md";
+        group = 0;
+        cond = [ Cond.Csim (vt, vt2) ];
+        subject;
+        replacement;
+        drops = [ sim ];
+      }
+  in
+  Clause.make
+    ~head:(Literal.rel "restricted" [ v0 ])
+    [
+      Literal.rel "imdb_movies" [ v0; vt; vy ];
+      Literal.rel "bom_ratings" [ vt2; Term.str "R" ];
+      sim;
+      mk_repair vt r0;
+      mk_repair vt2 r1;
+      Literal.Eq (r0, r1);
+    ]
+
+(* Three workload variants: the strict MD-only setting, the loose
+   threshold that opens the spurious-repair space, and a CFD-violating
+   database. Each variant carries one context per domain count, sharing
+   its ground-clause caches across all 500 QCheck cases. *)
+type variant = {
+  name : string;
+  ctxs : (int * Context.t) list;  (** num_domains -> context *)
+  clauses : Clause.t array;
+}
+
+let domain_counts = [ 1; 2; 4; 8 ]
+
+let make_variant name ~threshold ~db ~cfds =
+  let ctxs =
+    List.map
+      (fun jobs ->
+        ( jobs,
+          Context.create (toy_config ~jobs ~threshold) (db ()) [ md_title ]
+            cfds ))
+      domain_counts
+  in
+  let seq = List.assoc 1 ctxs in
+  let bottoms =
+    List.map
+      (fun id -> Bottom_clause.build seq Bottom_clause.Variable (ex id))
+      [ "m1"; "m3"; "m4" ]
+  in
+  let armgs =
+    List.filter_map
+      (fun (seed, towards) ->
+        let bottom = Bottom_clause.build seq Bottom_clause.Variable (ex seed) in
+        Generalization.armg seq bottom (ex towards))
+      [ ("m1", "m3"); ("m4", "m3"); ("m1", "m4") ]
+  in
+  { name; ctxs; clauses = Array.of_list ((hand_clause () :: bottoms) @ armgs) }
+
+let variants =
+  lazy
+    [
+      make_variant "strict" ~threshold:0.7 ~db:toy_db ~cfds:[];
+      make_variant "loose" ~threshold:0.6 ~db:toy_db ~cfds:[];
+      make_variant "cfd" ~threshold:0.7 ~db:violating_db ~cfds:[ phi ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* QCheck equivalence property                                         *)
+(* ------------------------------------------------------------------ *)
+
+type scenario = {
+  variant_i : int;
+  clause_i : int;
+  pos : Tuple.t list;
+  neg : Tuple.t list;
+}
+
+let scenario_gen =
+  let open QCheck.Gen in
+  let example_list =
+    list_size (0 -- 8) (map (fun i -> examples.(i)) (0 -- 3))
+  in
+  let* variant_i = 0 -- 2 in
+  let variant = List.nth (Lazy.force variants) variant_i in
+  let* clause_i = 0 -- (Array.length variant.clauses - 1) in
+  let* pos = example_list in
+  let* neg = example_list in
+  return { variant_i; clause_i; pos; neg }
+
+let scenario_print s =
+  let variant = List.nth (Lazy.force variants) s.variant_i in
+  Printf.sprintf "variant=%s clause=%d pos=[%s] neg=[%s]" variant.name
+    s.clause_i
+    (String.concat ";" (List.map Tuple.to_string s.pos))
+    (String.concat ";" (List.map Tuple.to_string s.neg))
+
+let scenario_arb = QCheck.make ~print:scenario_print scenario_gen
+
+let coverage_in ctx clause ~pos ~neg =
+  let prep = Coverage.prepare ctx clause in
+  Coverage.coverage ctx prep ~pos ~neg
+
+let equivalence_test jobs =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make
+       ~name:(Printf.sprintf "coverage with %d domains equals sequential" jobs)
+       ~count:500 scenario_arb
+       (fun s ->
+         let variant = List.nth (Lazy.force variants) s.variant_i in
+         let clause = variant.clauses.(s.clause_i) in
+         let seq = List.assoc 1 variant.ctxs in
+         let par = List.assoc jobs variant.ctxs in
+         let p0, n0 = coverage_in seq clause ~pos:s.pos ~neg:s.neg in
+         let p1, n1 = coverage_in par clause ~pos:s.pos ~neg:s.neg in
+         if (p0, n0) <> (p1, n1) then
+           QCheck.Test.fail_reportf "sequential (%d, %d) <> %d-domain (%d, %d)"
+             p0 n0 jobs p1 n1;
+         (* The batch predicates must agree element-wise too. *)
+         let prep_s = Coverage.prepare seq clause in
+         let prep_p = Coverage.prepare par clause in
+         List.for_all2 Bool.equal
+           (Coverage.covers_positive_batch seq prep_s s.pos)
+           (Coverage.covers_positive_batch par prep_p s.pos)
+         && List.for_all2 Bool.equal
+              (Coverage.covers_negative_batch seq prep_s s.neg)
+              (Coverage.covers_negative_batch par prep_p s.neg)))
+
+let equivalence_tests = List.map equivalence_test [ 2; 4; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* Ground-entry stress: many domains, one shared entry                 *)
+(* ------------------------------------------------------------------ *)
+
+let ground_entry_stress () =
+  for _round = 1 to 10 do
+    (* A fresh context each round so every memo cell starts cold. *)
+    let ctx =
+      Context.create
+        (toy_config ~jobs:1 ~threshold:0.7)
+        (violating_db ()) [ md_title ] [ phi ]
+    in
+    let e = ex "m1" in
+    let results =
+      List.init 8 (fun i ->
+          Domain.spawn (fun () ->
+              let entry = Bottom_clause.ground ctx e in
+              (* Vary the first accessor per domain so different memo
+                 fields race on being forced first. *)
+              (match i mod 4 with
+              | 0 -> ignore (Coverage.ground_repairs ctx entry)
+              | 1 -> ignore (Coverage.ground_target ctx entry)
+              | 2 -> ignore (Coverage.prefilter_target ctx entry)
+              | _ -> ignore (Coverage.ground_repair_targets ctx entry));
+              ( entry,
+                Coverage.ground_repairs ctx entry,
+                Coverage.ground_target ctx entry,
+                Coverage.ground_repair_targets ctx entry,
+                Coverage.prefilter_target ctx entry )))
+      |> List.map Domain.join
+    in
+    let entry0, repairs0, target0, rts0, pf0 = List.hd results in
+    List.iter
+      (fun (entry, repairs, target, rts, pf) ->
+        Alcotest.(check bool) "one cache entry" true (entry == entry0);
+        Alcotest.(check bool) "one repairs list" true (repairs == repairs0);
+        Alcotest.(check bool) "one target" true (target == target0);
+        Alcotest.(check bool) "one repair-target list" true (rts == rts0);
+        Alcotest.(check bool) "one prefilter target" true (pf == pf0))
+      results
+  done
+
+let stress_tests =
+  [
+    Alcotest.test_case "shared ground entry memoizes once across domains"
+      `Quick ground_entry_stress;
+    Alcotest.test_case "learner result is identical across domain counts"
+      `Quick (fun () ->
+        let pos = [ ex "m1"; ex "m3"; ex "m4" ] and neg = [ ex "m2" ] in
+        let learn jobs =
+          let ctx =
+            Context.create
+              (toy_config ~jobs ~threshold:0.7)
+              (toy_db ()) [ md_title ] []
+          in
+          let r = Learner.learn ctx ~pos ~neg in
+          Definition.to_string r.Learner.definition
+        in
+        let seq = learn 1 in
+        List.iter
+          (fun jobs ->
+            Alcotest.(check string)
+              (Printf.sprintf "%d domains" jobs)
+              seq (learn jobs))
+          [ 2; 4; 8 ])
+  ]
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ("pool", pool_tests);
+      ("memo", memo_tests);
+      ("equivalence", equivalence_tests);
+      ("stress", stress_tests);
+    ]

@@ -286,7 +286,7 @@ let materialized_tests =
         (* Repaired clauses of a repair-free clause: itself; evaluate over
            every stable instance. Merged values are equal on both sides of
            the similarity literal, so the equality oracle suffices. *)
-        let crs = Lazy.force prep.Coverage.repairs in
+        let crs = Dlearn_parallel.Memo.force prep.Coverage.repairs in
         List.iter
           (fun id ->
             let e = Tuple.of_strings [ id ] in
