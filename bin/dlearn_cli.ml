@@ -65,6 +65,15 @@ let jobs_arg =
   in
   Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+let no_incremental_arg =
+  let doc =
+    "Disable the incremental coverage engine (verdict caching, \
+     generalization-monotone reuse and score-bound pruning) and test every \
+     candidate from scratch. Both settings learn the identical definition; \
+     also settable via DLEARN_INCREMENTAL=0."
+  in
+  Arg.(value & flag & info [ "no-incremental" ] ~doc)
+
 let verbose_arg =
   let doc = "Log learner progress." in
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
@@ -102,10 +111,13 @@ let learn_cmd =
     let doc = "Cross-validation folds." in
     Arg.(value & opt int 5 & info [ "folds" ] ~docv:"K" ~doc)
   in
-  let run dataset system n km depth p folds jobs verbose =
+  let run dataset system n km depth p folds jobs no_incremental verbose =
     setup_logs verbose;
     let w = apply_overrides (make_dataset ?n dataset) km depth p in
     let w = match jobs with Some j -> Experiment.with_jobs w j | None -> w in
+    let w =
+      if no_incremental then Experiment.with_incremental w false else w
+    in
     let system = system_of_string system in
     Printf.printf "%s\n" (Workload.describe w);
     let r = Experiment.evaluate ~folds system w in
@@ -117,7 +129,7 @@ let learn_cmd =
     (Cmd.info "learn" ~doc:"Cross-validate a system on a workload.")
     Term.(
       const run $ dataset_arg $ system_arg $ n_arg $ km_arg $ depth_arg $ p_arg
-      $ folds_arg $ jobs_arg $ verbose_arg)
+      $ folds_arg $ jobs_arg $ no_incremental_arg $ verbose_arg)
 
 (* dlearn show *)
 let show_cmd =

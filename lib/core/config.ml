@@ -19,6 +19,7 @@ type t = {
   cfd_rounds : int;
   allow_dirty_constraints : bool;
   num_domains : int;
+  incremental_coverage : bool;
   seed : int;
 }
 
@@ -32,6 +33,17 @@ let default_num_domains () =
       | Some n when n >= 1 -> n
       | Some _ | None -> Domain.recommended_domain_count ())
   | None -> Domain.recommended_domain_count ()
+
+(* DLEARN_INCREMENTAL=0 (or false/off/no) pins the from-scratch coverage
+   path; anything else — including unset — keeps the incremental engine
+   on. CI runs the suites both ways. *)
+let default_incremental () =
+  match Sys.getenv_opt "DLEARN_INCREMENTAL" with
+  | Some s -> (
+      match String.lowercase_ascii (String.trim s) with
+      | "0" | "false" | "off" | "no" -> false
+      | _ -> true)
+  | None -> true
 
 let default ~target =
   {
@@ -55,6 +67,7 @@ let default ~target =
     cfd_rounds = 2;
     allow_dirty_constraints = false;
     num_domains = default_num_domains ();
+    incremental_coverage = default_incremental ();
     seed = 42;
   }
 

@@ -48,13 +48,21 @@ type t = {
       (** domains used by the coverage engine's pool ([1] = the exact
           sequential path, no domains spawned); parallel and sequential
           runs return bitwise-identical results — see docs/PARALLELISM.md *)
+  incremental_coverage : bool;
+      (** reuse coverage verdicts across the ARMG climb (monotone
+          inheritance of the parent's covered positives), prune candidates
+          by score bound, and cache per-clause verdict bitsets across
+          seeds; [false] selects the from-scratch path. Both paths learn
+          the identical definition — see docs/COVERAGE.md *)
   seed : int;  (** RNG seed: sampling is deterministic given the seed *)
 }
 
 (** [default ~target] — the paper's operating point: d = 3, km = 5,
     sample_size = 10, paper similarity at 0.6. [num_domains] defaults to
     [Domain.recommended_domain_count ()], overridable through the
-    [DLEARN_NUM_DOMAINS] environment variable (read at each call). *)
+    [DLEARN_NUM_DOMAINS] environment variable; [incremental_coverage]
+    defaults to [true], overridable through [DLEARN_INCREMENTAL]
+    ([0]/[false]/[off]/[no] disable it). Both read at each call. *)
 val default : target:Dlearn_relation.Schema.t -> t
 
 val pp : Format.formatter -> t -> unit

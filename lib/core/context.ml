@@ -13,6 +13,16 @@ type ground_entry = {
   mutable prefilter_target : Dlearn_logic.Subsumption.target option;
 }
 
+(* Incremental-coverage counters, cumulative per context. Atomics: they
+   are bumped from inside parallel fills and read by the learner's
+   logging. *)
+type cover_stats = {
+  tested : int Atomic.t; (* verdicts computed by running a predicate *)
+  inherited : int Atomic.t; (* positives inherited from the ARMG parent *)
+  cache_hits : int Atomic.t; (* verdicts found in the cross-seed cache *)
+  pruned : int Atomic.t; (* candidates cut short by the score bound *)
+}
+
 type t = {
   config : Config.t;
   db : Database.t;
@@ -23,6 +33,15 @@ type t = {
   sim_lock : Mutex.t;
   ground_cache : (string, ground_entry) Hashtbl.t;
   ground_lock : Mutex.t;
+  (* Dense example ids: every pos/neg tuple the coverage engine sees is
+     interned once; bitsets are indexed by these ids. One shared space for
+     positives and negatives — an id identifies a tuple, not a polarity. *)
+  example_ids : (string, int) Hashtbl.t;
+  example_lock : Mutex.t;
+  (* canonical clause -> known coverage verdicts, shared across seeds *)
+  cover_cache : Cover_set.entry Cover_set.Clause_tbl.t;
+  cover_lock : Mutex.t;
+  cover_stats : cover_stats;
 }
 
 let create config db mds cfds =
@@ -52,6 +71,17 @@ let create config db mds cfds =
     sim_lock = Mutex.create ();
     ground_cache = Hashtbl.create 256;
     ground_lock = Mutex.create ();
+    example_ids = Hashtbl.create 256;
+    example_lock = Mutex.create ();
+    cover_cache = Cover_set.Clause_tbl.create 256;
+    cover_lock = Mutex.create ();
+    cover_stats =
+      {
+        tested = Atomic.make 0;
+        inherited = Atomic.make 0;
+        cache_hits = Atomic.make 0;
+        pruned = Atomic.make 0;
+      };
   }
 
 let pool t = Dlearn_parallel.Pool.get t.config.Config.num_domains
@@ -74,6 +104,33 @@ let sim_index t rel pos =
           idx)
 
 let example_key e = Tuple.to_string e
+
+(* Intern a tuple into the dense id space. Ids are assigned in first-seen
+   order; duplicates of one tuple share an id. *)
+let example_id t e =
+  let key = example_key e in
+  Mutex.protect t.example_lock (fun () ->
+      match Hashtbl.find_opt t.example_ids key with
+      | Some id -> id
+      | None ->
+          let id = Hashtbl.length t.example_ids in
+          Hashtbl.add t.example_ids key id;
+          id)
+
+let example_count t =
+  Mutex.protect t.example_lock (fun () -> Hashtbl.length t.example_ids)
+
+(* The cache entry of a clause, created on first use. Callers must key on
+   [Clause.canonical] forms; the entry's own lock guards its bitsets, this
+   lookup only guards the table. *)
+let cover_entry t clause =
+  Mutex.protect t.cover_lock (fun () ->
+      match Cover_set.Clause_tbl.find_opt t.cover_cache clause with
+      | Some e -> e
+      | None ->
+          let e = Cover_set.entry () in
+          Cover_set.Clause_tbl.add t.cover_cache clause e;
+          e)
 
 let is_searchable_attr t rel pos =
   match t.config.Config.searchable_attrs with

@@ -21,6 +21,19 @@ type ground_entry = {
           necessary-condition check that gates repair enumeration *)
 }
 
+type cover_stats = {
+  tested : int Atomic.t;
+      (** coverage verdicts computed by actually running a predicate *)
+  inherited : int Atomic.t;
+      (** positive verdicts inherited from the ARMG parent without testing *)
+  cache_hits : int Atomic.t;
+      (** verdicts found in the cross-seed cover cache *)
+  pruned : int Atomic.t;
+      (** candidates whose negative sweep was cut short by the score bound *)
+}
+(** Cumulative incremental-coverage counters; logged by the learner on
+    [dlearn.learner]. All zero when [Config.incremental_coverage] is off. *)
+
 type t = {
   config : Config.t;
   db : Dlearn_relation.Database.t;
@@ -31,6 +44,15 @@ type t = {
   sim_lock : Mutex.t;  (** guards [sim_indexes] *)
   ground_cache : (string, ground_entry) Hashtbl.t;
   ground_lock : Mutex.t;  (** guards [ground_cache] *)
+  example_ids : (string, int) Hashtbl.t;
+      (** dense example-id registry ([example_key] → id); access through
+          {!example_id} *)
+  example_lock : Mutex.t;  (** guards [example_ids] *)
+  cover_cache : Cover_set.entry Cover_set.Clause_tbl.t;
+      (** canonical clause → known coverage verdicts, shared across seeds;
+          access through {!cover_entry} *)
+  cover_lock : Mutex.t;  (** guards [cover_cache] (not the entries) *)
+  cover_stats : cover_stats;
 }
 
 (** [create config db mds cfds] prepares the context: one similarity index
@@ -55,6 +77,19 @@ val sim_index : t -> string -> int -> Dlearn_similarity.Sim_index.t
 
 (** [example_key e] is the cache key of a training example. *)
 val example_key : Dlearn_relation.Tuple.t -> string
+
+(** [example_id t e] interns [e] into the dense id space shared by all
+    coverage bitsets, assigning ids in first-seen order. Duplicate tuples
+    share one id. Safe from any domain. *)
+val example_id : t -> Dlearn_relation.Tuple.t -> int
+
+(** Number of distinct examples interned so far. *)
+val example_count : t -> int
+
+(** [cover_entry t clause] is the cover-cache entry of [clause], created
+    empty on first use. [clause] {b must} be in [Clause.canonical] form —
+    the cache identifies clauses up to body order and duplicates. *)
+val cover_entry : t -> Dlearn_logic.Clause.t -> Cover_set.entry
 
 (** [is_constant_attr t rel pos] holds when clauses represent that
     attribute's values as constants. *)

@@ -2,6 +2,8 @@ open Dlearn_logic
 module Memo = Dlearn_parallel.Memo
 module Pool = Dlearn_parallel.Pool
 
+module Bitset = Cover_set.Bitset
+
 type prepared = {
   clause : Clause.t;
   cfd_apps : Clause.t list Memo.t;
@@ -9,6 +11,8 @@ type prepared = {
   skeleton : Clause.t Memo.t;
       (* head + schema atoms with every occurrence of a repairable term
          (subject or replacement of some repair literal) wildcarded *)
+  canon : Clause.t Memo.t;
+      (* the canonical form, key of the cross-seed cover cache *)
 }
 
 let caps (ctx : Context.t) =
@@ -53,6 +57,7 @@ let prepare ctx clause =
       Memo.make (fun () ->
           Clause_repair.repaired_clauses ~state_cap ~result_cap clause);
     skeleton = Memo.make (fun () -> skeleton_of clause);
+    canon = Memo.make (fun () -> Clause.canonical clause);
   }
 
 let has_cfd_repairs (c : Clause.t) =
@@ -224,8 +229,181 @@ let covers_positive_batch ctx prepared es =
 let covers_negative_batch ctx prepared es =
   Pool.map_list (Context.pool ctx) (covers_negative ctx prepared) es
 
+(* ------------------------------------------------------------------ *)
+(* Incremental engine: dense-id verdict bitsets, cross-seed cache,
+   generalization-monotone inheritance and score-bound pruning. See
+   docs/COVERAGE.md for the layout and the soundness argument. *)
+
+let bump counter k =
+  if k <> 0 then ignore (Atomic.fetch_and_add counter k)
+
+(* Resolve the verdicts of [prepared] over [tuples] for one polarity.
+   Each distinct example id is decided by, in order: the [assume] set
+   (ids whose positive coverage is inherited from the ARMG parent — only
+   ever non-empty for positives), the cross-seed cache, and finally an
+   actual predicate run over the residue, fanned out through [Pool.fill].
+   New verdicts (and the inherited claims) merge monotonically into the
+   cache entry under its lock; the predicates run outside any lock, so
+   two domains racing on one residue id at worst duplicate idempotent
+   work. Returns the interned ids (aligned with [tuples]) and the covered
+   set restricted to this universe. *)
+let resolve ctx prepared ~negative ~assume tuples =
+  let ids = List.map (fun e -> Context.example_id ctx e) tuples in
+  if tuples = [] then (ids, Bitset.empty)
+  else begin
+    let stats = ctx.Context.cover_stats in
+    let entry = Context.cover_entry ctx (Memo.force prepared.canon) in
+    let tested, covered =
+      Mutex.protect entry.Cover_set.lock (fun () ->
+          if negative then
+            (entry.Cover_set.neg_tested, entry.Cover_set.neg_covered)
+          else (entry.Cover_set.pos_tested, entry.Cover_set.pos_covered))
+    in
+    let seen = Hashtbl.create 16 in
+    let inherited = ref [] and cached = ref [] and residue = ref [] in
+    List.iter2
+      (fun id e ->
+        if not (Hashtbl.mem seen id) then begin
+          Hashtbl.add seen id ();
+          if Bitset.mem assume id then inherited := id :: !inherited
+          else if Bitset.mem tested id then begin
+            bump stats.Context.cache_hits 1;
+            if Bitset.mem covered id then cached := id :: !cached
+          end
+          else residue := (id, e) :: !residue
+        end)
+      ids tuples;
+    bump stats.Context.inherited (List.length !inherited);
+    let residue_arr = Array.of_list (List.rev !residue) in
+    let nres = Array.length residue_arr in
+    let new_tested, new_covered =
+      if nres = 0 then ([], [])
+      else begin
+        let pred = if negative then covers_negative else covers_positive in
+        let packed =
+          Pool.fill (Context.pool ctx) ~n:nres (fun i ->
+              pred ctx prepared (snd residue_arr.(i)))
+        in
+        bump stats.Context.tested nres;
+        let tested_ids = ref [] and covered_ids = ref [] in
+        Array.iteri
+          (fun i (id, _) ->
+            tested_ids := id :: !tested_ids;
+            if Bitset.test_packed packed i then covered_ids := id :: !covered_ids)
+          residue_arr;
+        (!tested_ids, !covered_ids)
+      end
+    in
+    if new_tested <> [] || !inherited <> [] then
+      Mutex.protect entry.Cover_set.lock (fun () ->
+          if negative then begin
+            entry.Cover_set.neg_tested <-
+              Bitset.add_list entry.Cover_set.neg_tested new_tested;
+            entry.Cover_set.neg_covered <-
+              Bitset.add_list entry.Cover_set.neg_covered new_covered
+          end
+          else begin
+            entry.Cover_set.pos_tested <-
+              Bitset.add_list entry.Cover_set.pos_tested
+                (!inherited @ new_tested);
+            entry.Cover_set.pos_covered <-
+              Bitset.add_list entry.Cover_set.pos_covered
+                (!inherited @ new_covered)
+          end);
+    (ids, Bitset.of_list (!inherited @ !cached @ new_covered))
+  end
+
+let coverage_sets ctx prepared ~pos ~neg =
+  let _, pc = resolve ctx prepared ~negative:false ~assume:Bitset.empty pos in
+  let _, nc = resolve ctx prepared ~negative:true ~assume:Bitset.empty neg in
+  (pc, nc)
+
+(* Counts with multiplicity: a universe may contain duplicate tuples, and
+   the from-scratch path counts each occurrence, so bitset cardinality is
+   not the count. *)
+let count_ids covered ids =
+  List.fold_left (fun acc id -> if Bitset.mem covered id then acc + 1 else acc) 0 ids
+
+let count_covered ctx covered tuples =
+  count_ids covered (List.map (fun e -> Context.example_id ctx e) tuples)
+
+(* Raise [bound] to [s] unless it is already higher (lock-free max). *)
+let rec raise_bound bound s =
+  let cur = Atomic.get bound in
+  if s > cur && not (Atomic.compare_and_set bound cur s) then raise_bound bound s
+
+(* Score one climb candidate. Positives resolve through [resolve] with
+   the parent's covered set as [assume]; the negative sweep is sequential
+   (candidate scoring already fans out over the pool, so this runs inside
+   a worker) and stops as soon as [p - n_so_far] drops strictly below
+   [bound] — at that point the candidate cannot reach the bound, and
+   since [bound] only ever holds the parent's score or a fully-evaluated
+   candidate's score, a pruned candidate can never sort above (or tie
+   with) the batch winner. Returns [(p, n, pos_covered, complete)];
+   [n] is a lower bound when [complete] is false. Verdicts computed
+   before pruning still merge into the cache — each is individually
+   correct. *)
+let score_candidate ctx prepared ~assume ~pos ~neg ~bound =
+  let stats = ctx.Context.cover_stats in
+  let pids, pcov = resolve ctx prepared ~negative:false ~assume pos in
+  let p = count_ids pcov pids in
+  let entry = Context.cover_entry ctx (Memo.force prepared.canon) in
+  let tested, covered =
+    Mutex.protect entry.Cover_set.lock (fun () ->
+        (entry.Cover_set.neg_tested, entry.Cover_set.neg_covered))
+  in
+  let new_tested = ref [] and new_covered = ref [] in
+  let merge () =
+    if !new_tested <> [] then
+      Mutex.protect entry.Cover_set.lock (fun () ->
+          entry.Cover_set.neg_tested <-
+            Bitset.add_list entry.Cover_set.neg_tested !new_tested;
+          entry.Cover_set.neg_covered <-
+            Bitset.add_list entry.Cover_set.neg_covered !new_covered)
+  in
+  let fresh = Hashtbl.create 16 in
+  let rec sweep n = function
+    | [] ->
+        merge ();
+        raise_bound bound (p - n);
+        (p, n, pcov, true)
+    | e :: rest ->
+        if p - n < Atomic.get bound then begin
+          merge ();
+          bump stats.Context.pruned 1;
+          (p, n, pcov, false)
+        end
+        else begin
+          let id = Context.example_id ctx e in
+          let verdict =
+            if Hashtbl.mem fresh id then Hashtbl.find fresh id
+            else if Bitset.mem tested id then begin
+              bump stats.Context.cache_hits 1;
+              Bitset.mem covered id
+            end
+            else begin
+              let v = covers_negative ctx prepared e in
+              bump stats.Context.tested 1;
+              Hashtbl.add fresh id v;
+              new_tested := id :: !new_tested;
+              if v then new_covered := id :: !new_covered;
+              v
+            end
+          in
+          sweep (if verdict then n + 1 else n) rest
+        end
+  in
+  sweep 0 neg
+
 let coverage ctx prepared ~pos ~neg =
-  let pool = Context.pool ctx in
-  let p = Pool.filter_count_list pool (covers_positive ctx prepared) pos in
-  let n = Pool.filter_count_list pool (covers_negative ctx prepared) neg in
-  (p, n)
+  if ctx.Context.config.Config.incremental_coverage then begin
+    let pids, pc = resolve ctx prepared ~negative:false ~assume:Bitset.empty pos in
+    let nids, nc = resolve ctx prepared ~negative:true ~assume:Bitset.empty neg in
+    (count_ids pc pids, count_ids nc nids)
+  end
+  else begin
+    let pool = Context.pool ctx in
+    let p = Pool.filter_count_list pool (covers_positive ctx prepared) pos in
+    let n = Pool.filter_count_list pool (covers_negative ctx prepared) neg in
+    (p, n)
+  end

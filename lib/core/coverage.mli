@@ -21,6 +21,8 @@
     memoize under locks, so the parallel results are bitwise identical to
     the sequential path (see docs/PARALLELISM.md). *)
 
+module Bitset = Cover_set.Bitset
+
 type prepared = {
   clause : Dlearn_logic.Clause.t;
   cfd_apps : Dlearn_logic.Clause.t list Dlearn_parallel.Memo.t;
@@ -30,6 +32,9 @@ type prepared = {
           wildcarded — matched against the example's relational part modulo
           its potential merges as a necessary condition before any repair
           enumeration runs *)
+  canon : Dlearn_logic.Clause.t Dlearn_parallel.Memo.t;
+      (** [Clause.canonical clause] — the key of the cross-seed cover
+          cache *)
 }
 
 (** [prepare ctx c] wraps [c] with memoized repair enumerations so that
@@ -81,11 +86,59 @@ val covers_positive_batch :
 val covers_negative_batch :
   Context.t -> prepared -> Dlearn_relation.Tuple.t list -> bool list
 
-(** [coverage ctx p ~pos ~neg] counts covered positives and negatives,
-    fanning out over the context's domain pool. *)
+(** [coverage ctx p ~pos ~neg] counts covered positives and negatives
+    (each occurrence of a duplicate tuple counted), fanning out over the
+    context's domain pool. With [Config.incremental_coverage] on, verdicts
+    route through the context's cross-seed cover cache: known verdicts are
+    reused, the residue is computed with a chunked {!Dlearn_parallel.Pool.fill}
+    and merged back. Both paths return identical counts. *)
 val coverage :
   Context.t ->
   prepared ->
   pos:Dlearn_relation.Tuple.t list ->
   neg:Dlearn_relation.Tuple.t list ->
   int * int
+
+(** [coverage_sets ctx p ~pos ~neg] is the batch verdict API of the
+    incremental engine: the covered subsets of the two universes as
+    bitsets over the context's dense example ids ({!Context.example_id}).
+    Verdicts resolve through the cross-seed cache; the residue fans out
+    over the domain pool chunk-wise. An example absent from a universe is
+    absent from the corresponding set; degenerate inputs (empty universes,
+    duplicate tuples, a clause whose skeleton prefilter rejects
+    everything) yield all-zero bitsets, never an error. *)
+val coverage_sets :
+  Context.t ->
+  prepared ->
+  pos:Dlearn_relation.Tuple.t list ->
+  neg:Dlearn_relation.Tuple.t list ->
+  Bitset.t * Bitset.t
+
+(** [count_covered ctx covered tuples] counts the tuples whose dense id is
+    in [covered], each occurrence of a duplicate tuple counted. *)
+val count_covered :
+  Context.t -> Bitset.t -> Dlearn_relation.Tuple.t list -> int
+
+(** [score_candidate ctx p ~assume ~pos ~neg ~bound] scores one
+    hill-climb candidate incrementally and returns
+    [(p, n, pos_covered, complete)]:
+
+    - positives resolve through the cover cache with [assume] — the ARMG
+      parent's covered set — inherited without testing (generalization
+      monotonicity, docs/COVERAGE.md);
+    - the negative sweep runs sequentially and stops as soon as
+      [p - n_so_far < Atomic.get bound] (Aleph-style pruning); on a
+      complete sweep the candidate's score is CAS-maxed into [bound].
+
+    When [complete] is false, [n] is a lower bound on the true negative
+    count and [p - n] is strictly below every fully-evaluated score in
+    the batch, so pruned candidates can never displace the batch winner.
+    [pos_covered] is exact either way. *)
+val score_candidate :
+  Context.t ->
+  prepared ->
+  assume:Bitset.t ->
+  pos:Dlearn_relation.Tuple.t list ->
+  neg:Dlearn_relation.Tuple.t list ->
+  bound:int Atomic.t ->
+  int * int * Bitset.t * bool

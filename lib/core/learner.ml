@@ -32,40 +32,64 @@ let sample rng n l =
   end
 
 (* Hill-climb: repeatedly generalise against sampled positives, keeping the
-   best-scoring candidate, until the score stops improving (§4.2). *)
+   best-scoring candidate, until the score stops improving (§4.2).
+
+   With [Config.incremental_coverage] on, the parent clause's covered
+   positives thread through the climb: ARMG only drops body literals, so a
+   candidate covers everything its parent covers and only the residue is
+   tested; the negative sweep stops early once a candidate provably cannot
+   reach the best score seen in the batch (see docs/COVERAGE.md — pruned
+   candidates can never beat or tie the batch winner, so the climb's
+   decisions are identical to the from-scratch path). *)
 let refine ctx ~uncovered ~neg clause =
   let config = ctx.Context.config in
+  let incremental = config.Config.incremental_coverage in
   (* Candidates are scored against a bounded sample of the negatives; the
      acceptance decision below re-scores the winner on the full set. *)
   let neg = sample ctx.Context.rng config.Config.climb_neg_cap neg in
-  let rec climb clause prepared (p, n) =
+  let rec climb clause prepared parent_cov (p, n) =
     let score = p - n in
     let sample_pos =
       sample ctx.Context.rng config.Config.sample_positives uncovered
     in
     let candidates =
-      List.filter_map (fun e' -> Generalization.armg ctx clause e') sample_pos
-      |> List.filter (fun c -> not (Clause.equal c clause))
+      let raw =
+        List.filter_map (fun e' -> Generalization.armg ctx clause e')
+          sample_pos
+        |> List.filter (fun c -> not (Clause.equal c clause))
+      in
       (* Distinct sampled positives often yield the same generalisation;
-         score each candidate once. *)
-      |> List.fold_left
-           (fun acc c ->
-             if List.exists (fun c' -> Clause.equal (Clause.canonical c) (Clause.canonical c')) acc
-             then acc
-             else c :: acc)
-           []
-      |> List.rev
+         score each candidate once — dedup on the canonical form, computed
+         once per candidate. *)
+      let dedup = Cover_set.Clause_tbl.create 16 in
+      List.filter
+        (fun c ->
+          let key = Clause.canonical c in
+          if Cover_set.Clause_tbl.mem dedup key then false
+          else begin
+            Cover_set.Clause_tbl.add dedup key ();
+            true
+          end)
+        raw
     in
     (* Candidates are scored across the domain pool; a worker's nested
        coverage fan-out runs sequentially in place, so the parallelism is
        one level deep whichever side has more work. Scores and ordering
        are identical to the sequential path. *)
+    let bound = Atomic.make score in
     let scored =
       Dlearn_parallel.Pool.map_list (Context.pool ctx)
         (fun c ->
           let prep = Coverage.prepare ctx c in
-          let cov = Coverage.coverage ctx prep ~pos:uncovered ~neg in
-          (c, prep, cov))
+          if incremental then
+            let cp, cn, cov, _complete =
+              Coverage.score_candidate ctx prep ~assume:parent_cov
+                ~pos:uncovered ~neg ~bound
+            in
+            (c, prep, cov, (cp, cn))
+          else
+            let cov = Coverage.coverage ctx prep ~pos:uncovered ~neg in
+            (c, prep, Coverage.Bitset.empty, cov))
         candidates
     in
     (* Higher score first; on ties the smaller clause — the more general
@@ -73,27 +97,29 @@ let refine ctx ~uncovered ~neg clause =
        training score has saturated. *)
     match
       List.stable_sort
-        (fun (c1, _, (p1, n1)) (c2, _, (p2, n2)) ->
+        (fun (c1, _, _, (p1, n1)) (c2, _, _, (p2, n2)) ->
           match Int.compare (p2 - n2) (p1 - n1) with
           | 0 -> Int.compare (Clause.body_size c1) (Clause.body_size c2)
           | c -> c)
         scored
     with
-    | (best, best_prep, (bp, bn)) :: _
+    | (best, best_prep, best_cov, (bp, bn)) :: _
       when bp - bn > score
            || (bp - bn = score && Clause.body_size best < Clause.body_size clause)
       ->
         Log.debug (fun m ->
             m "refined clause: score %d -> %d (%d literals)" score (bp - bn)
               (Clause.body_size best));
-        climb best best_prep (bp, bn)
+        climb best best_prep best_cov (bp, bn)
     | _ -> (clause, prepared, (p, n))
   in
   let prepared = Coverage.prepare ctx clause in
   (* The bottom clause covers its seed and (being maximally specific)
      essentially nothing else (Prop. 4.3); starting the climb from score
-     (1, 0) avoids an expensive full sweep with the raw clause. *)
-  climb clause prepared (1, 0)
+     (1, 0) avoids an expensive full sweep with the raw clause. The empty
+     inherited set is the matching under-approximation: first-round
+     candidates test every positive, exactly like the from-scratch path. *)
+  climb clause prepared Coverage.Bitset.empty (1, 0)
 
 (* Static preflight (§3–§4 preconditions): the covering loop below only
    makes sense over satisfiable CFD sets and well-formed MDs, so check
@@ -133,11 +159,16 @@ let learn ctx ~pos ~neg =
           let clause, prepared, (p, _) =
             refine ctx ~uncovered ~neg bottom
           in
-          (* Re-score on the full negative set for the acceptance test. *)
+          (* Re-score on the full negative set for the acceptance test; the
+             incremental path reuses the winner's climb-time verdicts on
+             the sampled negatives and only tests the rest. *)
           let n =
-            Dlearn_parallel.Pool.filter_count_list (Context.pool ctx)
-              (Coverage.covers_negative ctx prepared)
-              neg
+            if config.Config.incremental_coverage then
+              snd (Coverage.coverage ctx prepared ~pos:[] ~neg)
+            else
+              Dlearn_parallel.Pool.filter_count_list (Context.pool ctx)
+                (Coverage.covers_negative ctx prepared)
+                neg
           in
           let precision =
             if p + n = 0 then 0.0 else float_of_int p /. float_of_int (p + n)
@@ -145,9 +176,21 @@ let learn ctx ~pos ~neg =
           if p >= config.Config.min_pos && precision >= config.Config.min_precision
           then begin
             let still_uncovered =
-              Dlearn_parallel.Pool.filter_list (Context.pool ctx)
-                (fun e -> not (Coverage.covers_positive ctx prepared e))
-                rest
+              if config.Config.incremental_coverage then begin
+                (* The winner was scored over [uncovered] ⊇ [rest], so
+                   these are almost all cache hits. *)
+                let pbits, _ =
+                  Coverage.coverage_sets ctx prepared ~pos:rest ~neg:[]
+                in
+                List.filter
+                  (fun e ->
+                    not (Coverage.Bitset.mem pbits (Context.example_id ctx e)))
+                  rest
+              end
+              else
+                Dlearn_parallel.Pool.filter_list (Context.pool ctx)
+                  (fun e -> not (Coverage.covers_positive ctx prepared e))
+                  rest
             in
             Log.info (fun m ->
                 m "accepted clause covering %d+/%d- (%d uncovered left)" p n
@@ -177,6 +220,17 @@ let learn ctx ~pos ~neg =
         { clause = c; pos_covered = p; neg_covered = n })
       accepted
   in
+  if config.Config.incremental_coverage then begin
+    let cs = ctx.Context.cover_stats in
+    Log.info (fun m ->
+        m
+          "incremental coverage: %d verdicts tested, %d inherited from \
+           parents, %d cache hits, %d candidates pruned by score bound"
+          (Atomic.get cs.Context.tested)
+          (Atomic.get cs.Context.inherited)
+          (Atomic.get cs.Context.cache_hits)
+          (Atomic.get cs.Context.pruned))
+  end;
   {
     definition;
     stats;

@@ -72,6 +72,9 @@ let with_depth w depth = with_config w (fun c -> { c with Config.depth })
 let with_jobs w jobs =
   with_config w (fun c -> { c with Config.num_domains = max 1 jobs })
 
+let with_incremental w incremental =
+  with_config w (fun c -> { c with Config.incremental_coverage = incremental })
+
 let with_sample_size w sample_size =
   with_config w (fun c -> { c with Config.sample_size })
 

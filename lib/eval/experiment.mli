@@ -29,6 +29,11 @@ val with_depth : Workload.t -> int -> Workload.t
     fan-out (clamped to at least 1; 1 = sequential). *)
 val with_jobs : Workload.t -> int -> Workload.t
 
+(** [with_incremental w b] enables/disables the incremental coverage
+    engine ([Config.incremental_coverage]); both settings learn the
+    identical definition — see docs/COVERAGE.md. *)
+val with_incremental : Workload.t -> bool -> Workload.t
+
 (** [with_sample_size w s] sets the per-relation literal cap. *)
 val with_sample_size : Workload.t -> int -> Workload.t
 

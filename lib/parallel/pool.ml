@@ -235,6 +235,48 @@ let filter_count pool p arr =
     Atomic.get total
   end
 
+(* Pack [p 0 .. p (n-1)] into a fresh bit buffer, bit [i] at byte
+   [i lsr 3] / position [i land 7]. Chunks are whole byte ranges, so no
+   two domains ever read-modify-write the same byte — plain writes are
+   race-free without atomics. *)
+let fill pool ~n p =
+  let nbytes = (max 0 n + 7) / 8 in
+  let buf = Bytes.make nbytes '\000' in
+  let fill_byte byte =
+    let lo = byte lsl 3 in
+    let hi = min n (lo + 8) in
+    let v = ref 0 in
+    for i = lo to hi - 1 do
+      if p i then v := !v lor (1 lsl (i - lo))
+    done;
+    if !v <> 0 then Bytes.set buf byte (Char.chr !v)
+  in
+  if sequential pool || n < 16 then
+    for byte = 0 to nbytes - 1 do
+      fill_byte byte
+    done
+  else begin
+    let chunk_bytes = max 1 (nbytes / (pool.size * chunking)) in
+    let num_chunks = (nbytes + chunk_bytes - 1) / chunk_bytes in
+    let run i =
+      let lo = i * chunk_bytes in
+      let hi = min nbytes (lo + chunk_bytes) in
+      for byte = lo to hi - 1 do
+        fill_byte byte
+      done;
+      ignore (Atomic.fetch_and_add pool.items_run ((hi - lo) * 8))
+    in
+    run_job pool
+      {
+        run;
+        num_chunks;
+        next = Atomic.make 0;
+        completed = Atomic.make 0;
+        failed = Atomic.make None;
+      }
+  end;
+  buf
+
 let map_list pool f l = Array.to_list (map pool f (Array.of_list l))
 
 let filter_count_list pool p l = filter_count pool p (Array.of_list l)

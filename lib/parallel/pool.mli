@@ -62,6 +62,13 @@ val filter_list : t -> ('a -> bool) -> 'a list -> 'a list
 (** [iter pool f arr] runs [f] on every element, in parallel. *)
 val iter : t -> ('a -> unit) -> 'a array -> unit
 
+(** [fill pool ~n p] packs the verdicts [p 0 .. p (n-1)] into a fresh bit
+    buffer of [(n + 7) / 8] bytes: bit [i] lives at byte [i lsr 3],
+    position [i land 7], and is set iff [p i]. The work is chunked on
+    whole-byte boundaries, so no two domains write the same byte and the
+    result equals the sequential fill bit-for-bit. *)
+val fill : t -> n:int -> (int -> bool) -> Bytes.t
+
 (** Cumulative counters since pool creation. [busy_seconds.(0)] is the
     submitting side; slots [1..] are the workers. *)
 type stats = {

@@ -1,0 +1,407 @@
+(* The incremental-vs-from-scratch equivalence suite.
+
+   The incremental coverage engine (docs/COVERAGE.md) promises that
+   verdict caching, generalization-monotone inheritance and score-bound
+   pruning never change a learned definition or a coverage count. This
+   suite pins that promise: Bitset unit tests against a sorted-list
+   model, degenerate-input tests for the batch API, and a QCheck
+   differential property running [Learner.learn] with
+   [Config.incremental_coverage] on (at 1, 2 and 4 domains) and off,
+   over random example multisets on MD and CFD repair spaces — the
+   definitions and the per-clause (pos, neg) stats must be identical. *)
+
+open Dlearn_relation
+open Dlearn_constraints
+open Dlearn_logic
+open Dlearn_core
+module Bitset = Cover_set.Bitset
+
+let sv s = Value.String s
+
+(* ------------------------------------------------------------------ *)
+(* Bitset unit tests                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let sorted_uniq l = List.sort_uniq Int.compare l
+
+let bitset_model_test =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"bitset ops agree with the sorted-list model"
+       ~count:500
+       QCheck.(pair (small_list (int_bound 200)) (small_list (int_bound 200)))
+       (fun (xs, ys) ->
+         let a = Bitset.of_list xs and b = Bitset.of_list ys in
+         let xs' = sorted_uniq xs and ys' = sorted_uniq ys in
+         Bitset.to_list a = xs'
+         && Bitset.cardinal a = List.length xs'
+         && Bitset.to_list (Bitset.union a b)
+            = sorted_uniq (xs' @ ys')
+         && Bitset.to_list (Bitset.inter a b)
+            = List.filter (fun x -> List.mem x ys') xs'
+         && Bitset.to_list (Bitset.diff a b)
+            = List.filter (fun x -> not (List.mem x ys')) xs'
+         && List.for_all (fun x -> Bitset.mem a x) xs'
+         && Bitset.equal a (List.fold_left Bitset.add Bitset.empty xs)))
+
+let bitset_tests =
+  [
+    Alcotest.test_case "empty set" `Quick (fun () ->
+        Alcotest.(check bool) "is_empty" true (Bitset.is_empty Bitset.empty);
+        Alcotest.(check int) "cardinal" 0 (Bitset.cardinal Bitset.empty);
+        Alcotest.(check bool) "mem" false (Bitset.mem Bitset.empty 0);
+        Alcotest.(check bool)
+          "of_list []" true
+          (Bitset.equal Bitset.empty (Bitset.of_list [])));
+    Alcotest.test_case "mem is total" `Quick (fun () ->
+        let s = Bitset.singleton 9 in
+        Alcotest.(check bool) "present" true (Bitset.mem s 9);
+        Alcotest.(check bool) "absent in range" false (Bitset.mem s 8);
+        Alcotest.(check bool) "beyond capacity" false
+          (Bitset.mem s (Bitset.capacity s + 100));
+        Alcotest.(check bool) "negative" false (Bitset.mem s (-1)));
+    Alcotest.test_case "representation is trimmed and canonical" `Quick
+      (fun () ->
+        (* Remove the high bit: the result must equal the set built
+           without it, so structural equality is set equality. *)
+        let with_high = Bitset.of_list [ 3; 200 ] in
+        let low = Bitset.diff with_high (Bitset.singleton 200) in
+        Alcotest.(check bool)
+          "diff trims" true
+          (Bitset.equal low (Bitset.singleton 3));
+        Alcotest.(check bool)
+          "inter trims" true
+          (Bitset.is_empty
+             (Bitset.inter (Bitset.singleton 500) (Bitset.singleton 3)));
+        Alcotest.(check bool)
+          "self-diff is empty" true
+          (Bitset.is_empty (Bitset.diff with_high with_high)));
+    Alcotest.test_case "packed round-trip" `Quick (fun () ->
+        let b = Bytes.make 3 '\000' in
+        Bytes.set b 0 '\005';
+        (* bits 0 and 2; byte 2 is a trailing zero *)
+        let s = Bitset.of_packed b in
+        Alcotest.(check (list int)) "bits" [ 0; 2 ] (Bitset.to_list s);
+        Alcotest.(check bool) "test_packed" true (Bitset.test_packed b 2);
+        Alcotest.(check bool) "test_packed clear" false (Bitset.test_packed b 1);
+        Alcotest.(check bool) "test_packed beyond" false
+          (Bitset.test_packed b 24);
+        (* adoption copies: later mutation is not observed *)
+        Bytes.set b 0 '\255';
+        Alcotest.(check (list int)) "isolated" [ 0; 2 ] (Bitset.to_list s));
+    bitset_model_test;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Toy workload (mirrors test_parallel.ml)                             *)
+(* ------------------------------------------------------------------ *)
+
+let toy_db () =
+  let db = Database.create () in
+  let movies =
+    Database.create_relation db
+      (Schema.string_attrs "imdb_movies" [ "id"; "title"; "year" ])
+  in
+  Relation.insert_all movies
+    [
+      Tuple.of_strings [ "m1"; "Superbad (2007)"; "y2007" ];
+      Tuple.of_strings [ "m2"; "Zoolander (2001)"; "y2001" ];
+      Tuple.of_strings [ "m3"; "The Orphanage (2007)"; "y2007" ];
+      Tuple.of_strings [ "m4"; "Alien (1979)"; "y1979" ];
+    ];
+  let genres =
+    Database.create_relation db
+      (Schema.string_attrs "imdb_genres" [ "id"; "genre" ])
+  in
+  Relation.insert_all genres
+    [
+      Tuple.of_strings [ "m1"; "comedy" ];
+      Tuple.of_strings [ "m2"; "comedy" ];
+      Tuple.of_strings [ "m3"; "drama" ];
+      Tuple.of_strings [ "m4"; "scifi" ];
+    ];
+  let ratings =
+    Database.create_relation db
+      (Schema.string_attrs "bom_ratings" [ "title"; "rating" ])
+  in
+  Relation.insert_all ratings
+    [
+      Tuple.of_strings [ "Superbad [2007]"; "R" ];
+      Tuple.of_strings [ "Zoolander [2001]"; "PG-13" ];
+      Tuple.of_strings [ "The Orphanage [2007]"; "R" ];
+      Tuple.of_strings [ "Alien [1979]"; "R" ];
+    ];
+  db
+
+let violating_db () =
+  let db = toy_db () in
+  let locale =
+    Database.create_relation db
+      (Schema.string_attrs "locale" [ "id"; "language"; "country" ])
+  in
+  Relation.insert_all locale
+    [
+      Tuple.of_strings [ "m1"; "English"; "USA" ];
+      Tuple.of_strings [ "m1"; "English"; "Ireland" ];
+      Tuple.of_strings [ "m2"; "English"; "USA" ];
+    ];
+  db
+
+let phi =
+  Cfd.make ~id:"phi" ~relation:"locale"
+    ~lhs:[ ("id", Cfd.Wildcard); ("language", Cfd.Const (sv "English")) ]
+    ~rhs:("country", Cfd.Wildcard)
+
+let md_title =
+  Md.make ~id:"title_md" ~left:"imdb_movies" ~right:"bom_ratings"
+    ~compared:[ ("title", "title") ] ~unified:("title", "title") ()
+
+let target = Schema.string_attrs "restricted" [ "id" ]
+
+let toy_config ~jobs ~threshold ~incremental =
+  {
+    (Config.default ~target) with
+    Config.constant_attrs =
+      [ ("bom_ratings", "rating"); ("imdb_genres", "genre") ];
+    sim = { Md.default_sim with Md.threshold };
+    min_pos = 2;
+    sample_positives = 4;
+    num_domains = jobs;
+    incremental_coverage = incremental;
+    (* the constraints are known-good; skip the per-learn preflight *)
+    allow_dirty_constraints = true;
+  }
+
+let ex id = Tuple.of_strings [ id ]
+let examples = [| ex "m1"; ex "m2"; ex "m3"; ex "m4" |]
+
+(* ------------------------------------------------------------------ *)
+(* Degenerate batch inputs                                             *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_ctx ?(jobs = 1) ?(incremental = true) ?(cfd = false) () =
+  let db = if cfd then violating_db () else toy_db () in
+  let cfds = if cfd then [ phi ] else [] in
+  Context.create
+    (toy_config ~jobs ~threshold:0.7 ~incremental)
+    db [ md_title ] cfds
+
+let degenerate_tests =
+  [
+    Alcotest.test_case "empty universes yield empty bitsets" `Quick (fun () ->
+        let ctx = fresh_ctx () in
+        let bottom = Bottom_clause.build ctx Bottom_clause.Variable (ex "m1") in
+        let prep = Coverage.prepare ctx bottom in
+        let pc, nc = Coverage.coverage_sets ctx prep ~pos:[] ~neg:[] in
+        Alcotest.(check bool) "pos empty" true (Bitset.is_empty pc);
+        Alcotest.(check bool) "neg empty" true (Bitset.is_empty nc);
+        Alcotest.(check (pair int int))
+          "counts" (0, 0)
+          (Coverage.coverage ctx prep ~pos:[] ~neg:[]));
+    Alcotest.test_case "duplicate tuples count with multiplicity" `Quick
+      (fun () ->
+        let ctx = fresh_ctx () in
+        let bottom = Bottom_clause.build ctx Bottom_clause.Variable (ex "m1") in
+        let prep = Coverage.prepare ctx bottom in
+        let pos = [ ex "m1"; ex "m1"; ex "m1" ] in
+        let p, _ = Coverage.coverage ctx prep ~pos ~neg:[] in
+        Alcotest.(check int) "three occurrences" 3 p;
+        let pc, _ = Coverage.coverage_sets ctx prep ~pos ~neg:[] in
+        Alcotest.(check int) "one id in the set" 1 (Bitset.cardinal pc);
+        Alcotest.(check int)
+          "count_covered respects multiplicity" 3
+          (Coverage.count_covered ctx pc pos));
+    Alcotest.test_case "skeleton-rejected clause yields all-zero bitsets"
+      `Quick (fun () ->
+        let ctx = fresh_ctx () in
+        (* No bottom clause mentions this relation, so the skeleton
+           prefilter rejects every example. *)
+        let v = Term.var "x0" in
+        let clause =
+          Clause.make
+            ~head:(Literal.rel "restricted" [ v ])
+            [ Literal.rel "no_such_relation" [ v ] ]
+        in
+        let prep = Coverage.prepare ctx clause in
+        let universe = Array.to_list examples in
+        let pc, nc = Coverage.coverage_sets ctx prep ~pos:universe ~neg:universe in
+        Alcotest.(check bool) "pos all-zero" true (Bitset.is_empty pc);
+        Alcotest.(check bool) "neg all-zero" true (Bitset.is_empty nc);
+        Alcotest.(check (pair int int))
+          "counts" (0, 0)
+          (Coverage.coverage ctx prep ~pos:universe ~neg:universe));
+    Alcotest.test_case "cached second call returns identical sets" `Quick
+      (fun () ->
+        let ctx = fresh_ctx ~cfd:true () in
+        let bottom = Bottom_clause.build ctx Bottom_clause.Variable (ex "m1") in
+        let prep = Coverage.prepare ctx bottom in
+        let universe = Array.to_list examples in
+        let first = Coverage.coverage_sets ctx prep ~pos:universe ~neg:universe in
+        let tested =
+          Atomic.get ctx.Context.cover_stats.Context.tested
+        in
+        (* Same clause re-prepared: every verdict must come from the
+           cache, and the sets must be unchanged. *)
+        let prep' = Coverage.prepare ctx bottom in
+        let second =
+          Coverage.coverage_sets ctx prep' ~pos:universe ~neg:universe
+        in
+        Alcotest.(check bool)
+          "pos sets equal" true
+          (Bitset.equal (fst first) (fst second));
+        Alcotest.(check bool)
+          "neg sets equal" true
+          (Bitset.equal (snd first) (snd second));
+        Alcotest.(check int)
+          "no new predicate runs" tested
+          (Atomic.get ctx.Context.cover_stats.Context.tested));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* QCheck differential: incremental ≡ from-scratch                     *)
+(* ------------------------------------------------------------------ *)
+
+(* One context per (variant, domain count, incremental flag), persistent
+   across all QCheck cases: the ground caches warm up as in a real run,
+   and — because the incremental path consumes the context RNG exactly
+   like the from-scratch path — the paired contexts stay in lockstep
+   case after case. A divergence in RNG consumption would surface here
+   as a cascade of failures. *)
+type variant = {
+  name : string;
+  off : Context.t;  (** 1 domain, incremental off — the reference *)
+  on_ : (int * Context.t) list;  (** num_domains -> incremental context *)
+}
+
+let domain_counts = [ 1; 2; 4 ]
+
+let make_variant name ~threshold ~db ~cfds =
+  let make ~jobs ~incremental =
+    Context.create
+      (toy_config ~jobs ~threshold ~incremental)
+      (db ()) [ md_title ] cfds
+  in
+  {
+    name;
+    off = make ~jobs:1 ~incremental:false;
+    on_ =
+      List.map
+        (fun jobs -> (jobs, make ~jobs ~incremental:true))
+        domain_counts;
+  }
+
+let variants =
+  lazy
+    [
+      make_variant "strict" ~threshold:0.7 ~db:toy_db ~cfds:[];
+      make_variant "loose" ~threshold:0.6 ~db:toy_db ~cfds:[];
+      make_variant "cfd" ~threshold:0.7 ~db:violating_db ~cfds:[ phi ];
+    ]
+
+type scenario = { variant_i : int; pos : Tuple.t list; neg : Tuple.t list }
+
+let scenario_gen =
+  let open QCheck.Gen in
+  let example_list =
+    list_size (0 -- 6) (map (fun i -> examples.(i)) (0 -- 3))
+  in
+  let* variant_i = 0 -- 2 in
+  let* pos = example_list in
+  let* neg = example_list in
+  return { variant_i; pos; neg }
+
+let scenario_print s =
+  let variant = List.nth (Lazy.force variants) s.variant_i in
+  Printf.sprintf "variant=%s pos=[%s] neg=[%s]" variant.name
+    (String.concat ";" (List.map Tuple.to_string s.pos))
+    (String.concat ";" (List.map Tuple.to_string s.neg))
+
+let scenario_arb = QCheck.make ~print:scenario_print scenario_gen
+
+let outcome ctx ~pos ~neg =
+  let r = Learner.learn ctx ~pos ~neg in
+  ( Definition.to_string r.Learner.definition,
+    List.map
+      (fun s -> (s.Learner.pos_covered, s.Learner.neg_covered))
+      r.Learner.stats )
+
+let learn_differential_test =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make
+       ~name:"learn: incremental at 1/2/4 domains equals from-scratch"
+       ~count:500 scenario_arb
+       (fun s ->
+         let variant = List.nth (Lazy.force variants) s.variant_i in
+         let ref_def, ref_stats =
+           outcome variant.off ~pos:s.pos ~neg:s.neg
+         in
+         List.for_all
+           (fun (jobs, ctx) ->
+             let def, stats = outcome ctx ~pos:s.pos ~neg:s.neg in
+             if def <> ref_def then
+               QCheck.Test.fail_reportf
+                 "definition diverged at %d domains:\n--- from-scratch\n%s\n\
+                  --- incremental\n%s"
+                 jobs ref_def def
+             else if stats <> ref_stats then
+               QCheck.Test.fail_reportf
+                 "per-clause stats diverged at %d domains: [%s] <> [%s]" jobs
+                 (String.concat ";"
+                    (List.map
+                       (fun (p, n) -> Printf.sprintf "%d+/%d-" p n)
+                       ref_stats))
+                 (String.concat ";"
+                    (List.map
+                       (fun (p, n) -> Printf.sprintf "%d+/%d-" p n)
+                       stats))
+             else true)
+           variant.on_))
+
+let coverage_differential_test =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make
+       ~name:"coverage: cached counts equal from-scratch counts" ~count:500
+       scenario_arb
+       (fun s ->
+         let variant = List.nth (Lazy.force variants) s.variant_i in
+         (* Exercise the cache with clauses derived from the scenario's
+            own examples: bottoms and their pairwise ARMGs. *)
+         let ctx_on = List.assoc 1 variant.on_ in
+         let ctx_off = variant.off in
+         let clauses =
+           match s.pos with
+           | [] -> []
+           | seed :: rest ->
+               let bottom =
+                 Bottom_clause.build ctx_off Bottom_clause.Variable seed
+               in
+               bottom
+               :: List.filter_map
+                    (fun e -> Generalization.armg ctx_off bottom e)
+                    rest
+         in
+         List.for_all
+           (fun clause ->
+             let scratch =
+               Coverage.coverage ctx_off
+                 (Coverage.prepare ctx_off clause)
+                 ~pos:s.pos ~neg:s.neg
+             in
+             let cached =
+               Coverage.coverage ctx_on
+                 (Coverage.prepare ctx_on clause)
+                 ~pos:s.pos ~neg:s.neg
+             in
+             if scratch <> cached then
+               QCheck.Test.fail_reportf
+                 "counts diverged: from-scratch (%d, %d) <> cached (%d, %d)"
+                 (fst scratch) (snd scratch) (fst cached) (snd cached)
+             else true)
+           clauses))
+
+let () =
+  Alcotest.run "incremental"
+    [
+      ("bitset", bitset_tests);
+      ("degenerate", degenerate_tests);
+      ("differential", [ coverage_differential_test; learn_differential_test ]);
+    ]

@@ -128,6 +128,35 @@ let pool_tests =
           (after.Pool.chunks > before.Pool.chunks);
         Alcotest.(check int) "busy slots" 2
           (Array.length after.Pool.busy_seconds));
+    Alcotest.test_case "fill packs predicate bits identically at every size"
+      `Quick (fun () ->
+        let p i = i mod 3 = 0 || i mod 7 = 1 in
+        List.iter
+          (fun n ->
+            List.iter
+              (fun len ->
+                let packed = Pool.fill (Pool.get n) ~n:len p in
+                Alcotest.(check int)
+                  (Printf.sprintf "pool %d, len %d: length" n len)
+                  ((len + 7) / 8) (Bytes.length packed);
+                for i = 0 to len - 1 do
+                  let bit =
+                    (Char.code (Bytes.get packed (i lsr 3)) lsr (i land 7))
+                    land 1
+                  in
+                  if (bit = 1) <> p i then
+                    Alcotest.failf "pool %d, len %d: bit %d is %d" n len i bit
+                done;
+                (* trailing padding bits stay clear *)
+                if len land 7 <> 0 && len > 0 then begin
+                  let last = Char.code (Bytes.get packed (Bytes.length packed - 1)) in
+                  Alcotest.(check int)
+                    (Printf.sprintf "pool %d, len %d: padding" n len)
+                    0
+                    (last lsr (len land 7))
+                end)
+              [ 0; 1; 7; 8; 9; 15; 16; 64; 257; 1000 ])
+          pool_sizes);
     Alcotest.test_case "get shares one pool per size" `Quick (fun () ->
         Alcotest.(check bool) "same pool" true (Pool.get 4 == Pool.get 4);
         Alcotest.(check int) "size respected" 4 (Pool.num_domains (Pool.get 4));
