@@ -446,6 +446,157 @@ let bench_coverage ~folds:_ ~n () =
   close_out oc;
   Printf.printf "wrote BENCH_coverage.json\n\n"
 
+(* θ-subsumption engines: replay the same ARMG-chain coverage workload as
+   [bench_coverage] — the hill-climb's actual access pattern — through the
+   backtracking baseline and the CSP kernel, sequentially and from
+   scratch, so the measured difference is exactly the matching engine.
+   Both engines must produce identical (p, n) counts on every chain
+   element. Emits BENCH_subsumption.json with a geometric-mean speedup
+   over the non-trivial datasets (imdb3, walmart). *)
+let bench_subsumption ~folds:_ ~n () =
+  let module Subsumption = Dlearn_logic.Subsumption in
+  Printf.printf "== Theta-subsumption: backtracking vs CSP kernel ==\n";
+  let datasets =
+    [
+      ("imdb1", fun () -> Imdb_omdb.generate ?n `One_md);
+      ("imdb3", fun () -> Imdb_omdb.generate ?n `Three_mds);
+      ("walmart", fun () -> Walmart_amazon.generate ?n ());
+    ]
+  in
+  let results =
+    List.map
+      (fun (name, make) ->
+        let w = Experiment.with_km (make ()) 2 in
+        let pos = w.Workload.pos in
+        let neg =
+          List.filteri
+            (fun i _ -> i < w.Workload.config.Config.climb_neg_cap)
+            w.Workload.neg
+        in
+        let make_ctx engine =
+          let config =
+            {
+              w.Workload.config with
+              Config.num_domains = 1;
+              incremental_coverage = false;
+              subsumption_engine = engine;
+            }
+          in
+          let ctx =
+            Baselines.make_context Baselines.Dlearn config w.Workload.db
+              w.Workload.mds w.Workload.cfds
+          in
+          List.iter
+            (fun e ->
+              let entry = Bottom_clause.ground ctx e in
+              ignore (Coverage.ground_target ctx entry);
+              ignore (Coverage.ground_repair_targets ctx entry);
+              ignore (Coverage.prefilter_target ctx entry))
+            (pos @ neg);
+          ctx
+        in
+        let chain =
+          let ctx = make_ctx `Backtrack in
+          let seed = List.hd pos in
+          let bottom = Bottom_clause.build ctx Bottom_clause.Variable seed in
+          let rec grow clause acc = function
+            | [] -> List.rev acc
+            | e :: rest -> (
+                if List.length acc > 6 then List.rev acc
+                else
+                  match Generalization.armg ctx clause e with
+                  | Some c when not (Dlearn_logic.Clause.equal c clause) ->
+                      grow c (c :: acc) rest
+                  | _ -> grow clause acc rest)
+          in
+          grow bottom [ bottom ] (List.tl pos)
+        in
+        let replay engine =
+          let ctx = make_ctx engine in
+          Subsumption.reset_stats ();
+          let t0 = Unix.gettimeofday () in
+          let counts =
+            List.map
+              (fun clause ->
+                let prep = Coverage.prepare ctx clause in
+                Coverage.coverage ctx prep ~pos ~neg)
+              chain
+          in
+          let dt = Unix.gettimeofday () -. t0 in
+          (dt, counts, Subsumption.stats ())
+        in
+        let t_bt, counts_bt, _ = replay `Backtrack in
+        let t_csp, counts_csp, csp_stats = replay `Csp in
+        if counts_bt <> counts_csp then
+          failwith
+            (Printf.sprintf "%s: engines disagree on coverage counts" name);
+        Printf.printf
+          "%s csp kernel: %d solves, %d nodes, %d propagations, %d wipeouts, \
+           %.3fs setup, %.3fs search\n%!"
+          name csp_stats.Subsumption.solves csp_stats.Subsumption.nodes
+          csp_stats.Subsumption.propagations csp_stats.Subsumption.wipeouts
+          csp_stats.Subsumption.setup_seconds
+          csp_stats.Subsumption.search_seconds;
+        ( name,
+          List.length chain,
+          List.length pos,
+          List.length neg,
+          t_bt,
+          t_csp,
+          csp_stats ))
+      datasets
+  in
+  Text_table.print
+    ~header:[ "dataset"; "chain"; "backtrack"; "csp"; "speedup" ]
+    (List.map
+       (fun (name, chain, _, _, tb, tc, _) ->
+         [
+           name;
+           string_of_int chain;
+           Printf.sprintf "%.3fs" tb;
+           Printf.sprintf "%.3fs" tc;
+           Printf.sprintf "%.2fx" (tb /. tc);
+         ])
+       results);
+  (* imdb1's replay is too small to measure reliably; the acceptance
+     criterion is the geometric mean over the non-trivial datasets. *)
+  let geo =
+    let speedups =
+      List.filter_map
+        (fun (name, _, _, _, tb, tc, _) ->
+          if name = "imdb1" then None else Some (tb /. tc))
+        results
+    in
+    exp
+      (List.fold_left (fun acc s -> acc +. log s) 0. speedups
+      /. float_of_int (List.length speedups))
+  in
+  Printf.printf "geometric-mean speedup (imdb3, walmart): %.2fx\n\n" geo;
+  let oc = open_out "BENCH_subsumption.json" in
+  let n_str = match n with Some v -> string_of_int v | None -> "null" in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"subsumption\",\n  \"n\": %s,\n  \"datasets\": [\n" n_str;
+  List.iteri
+    (fun i (name, chain, npos, nneg, tb, tc, st) ->
+      Printf.fprintf oc
+        "    {\"dataset\": \"%s\", \"chain_length\": %d, \"pos\": %d, \
+         \"neg\": %d,\n\
+        \     \"backtrack_s\": %.6f, \"csp_s\": %.6f, \"speedup_csp\": %.3f,\n\
+        \     \"csp_solves\": %d, \"csp_nodes\": %d, \"csp_propagations\": \
+         %d, \"csp_wipeouts\": %d,\n\
+        \     \"csp_setup_s\": %.6f, \"csp_search_s\": %.6f}%s\n"
+        name chain npos nneg tb tc (tb /. tc)
+        st.Dlearn_logic.Subsumption.solves st.Dlearn_logic.Subsumption.nodes
+        st.Dlearn_logic.Subsumption.propagations
+        st.Dlearn_logic.Subsumption.wipeouts
+        st.Dlearn_logic.Subsumption.setup_seconds
+        st.Dlearn_logic.Subsumption.search_seconds
+        (if i = List.length results - 1 then "" else ","))
+    results;
+  Printf.fprintf oc "  ],\n  \"geomean_speedup_nontrivial\": %.3f\n}\n" geo;
+  close_out oc;
+  Printf.printf "wrote BENCH_subsumption.json\n\n"
+
 (* ------------------------------------------------------------------ *)
 
 let all_benches =
@@ -462,6 +613,7 @@ let all_benches =
     ("ablation-size", ablation_clause_size);
     ("parallel", bench_parallel);
     ("coverage", bench_coverage);
+    ("subsumption", bench_subsumption);
   ]
 
 let usage ?(code = 1) () =

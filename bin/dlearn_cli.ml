@@ -74,6 +74,18 @@ let no_incremental_arg =
   in
   Arg.(value & flag & info [ "no-incremental" ] ~doc)
 
+let subsumption_engine_arg =
+  let doc =
+    "Theta-subsumption search engine: $(b,csp) (forward-checking kernel, \
+     the default) or $(b,backtrack) (reference backtracking search). Both \
+     engines learn the identical definition; also settable via \
+     DLEARN_SUBSUMPTION=backtrack."
+  in
+  Arg.(
+    value
+    & opt (some (enum [ ("csp", `Csp); ("backtrack", `Backtrack) ])) None
+    & info [ "subsumption-engine" ] ~docv:"ENGINE" ~doc)
+
 let verbose_arg =
   let doc = "Log learner progress." in
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
@@ -111,12 +123,18 @@ let learn_cmd =
     let doc = "Cross-validation folds." in
     Arg.(value & opt int 5 & info [ "folds" ] ~docv:"K" ~doc)
   in
-  let run dataset system n km depth p folds jobs no_incremental verbose =
+  let run dataset system n km depth p folds jobs no_incremental engine verbose
+      =
     setup_logs verbose;
     let w = apply_overrides (make_dataset ?n dataset) km depth p in
     let w = match jobs with Some j -> Experiment.with_jobs w j | None -> w in
     let w =
       if no_incremental then Experiment.with_incremental w false else w
+    in
+    let w =
+      match engine with
+      | Some e -> Experiment.with_subsumption w e
+      | None -> w
     in
     let system = system_of_string system in
     Printf.printf "%s\n" (Workload.describe w);
@@ -129,7 +147,8 @@ let learn_cmd =
     (Cmd.info "learn" ~doc:"Cross-validate a system on a workload.")
     Term.(
       const run $ dataset_arg $ system_arg $ n_arg $ km_arg $ depth_arg $ p_arg
-      $ folds_arg $ jobs_arg $ no_incremental_arg $ verbose_arg)
+      $ folds_arg $ jobs_arg $ no_incremental_arg $ subsumption_engine_arg
+      $ verbose_arg)
 
 (* dlearn show *)
 let show_cmd =

@@ -20,6 +20,8 @@ type t = {
   allow_dirty_constraints : bool;
   num_domains : int;
   incremental_coverage : bool;
+  subsumption_engine : Dlearn_logic.Subsumption.engine;
+  parallel_min_batch : int;
   seed : int;
 }
 
@@ -68,6 +70,8 @@ let default ~target =
     allow_dirty_constraints = false;
     num_domains = default_num_domains ();
     incremental_coverage = default_incremental ();
+    subsumption_engine = Dlearn_logic.Subsumption.default_engine ();
+    parallel_min_batch = 16;
     seed = 42;
   }
 

@@ -54,6 +54,15 @@ type t = {
           by score bound, and cache per-clause verdict bitsets across
           seeds; [false] selects the from-scratch path. Both paths learn
           the identical definition — see docs/COVERAGE.md *)
+  subsumption_engine : Dlearn_logic.Subsumption.engine;
+      (** θ-subsumption search engine used by coverage testing: [`Csp]
+          (default) is the forward-checking kernel, [`Backtrack] the
+          reference backtracking search. Both learn the identical
+          definition — see docs/SUBSUMPTION.md *)
+  parallel_min_batch : int;
+      (** batches smaller than this stay on the sequential path even when
+          [num_domains > 1]: fan-out overhead dominates for tiny example
+          sets (see BENCH_coverage.json's imdb1 replay) *)
   seed : int;  (** RNG seed: sampling is deterministic given the seed *)
 }
 
@@ -62,7 +71,10 @@ type t = {
     [Domain.recommended_domain_count ()], overridable through the
     [DLEARN_NUM_DOMAINS] environment variable; [incremental_coverage]
     defaults to [true], overridable through [DLEARN_INCREMENTAL]
-    ([0]/[false]/[off]/[no] disable it). Both read at each call. *)
+    ([0]/[false]/[off]/[no] disable it); [subsumption_engine] defaults to
+    [`Csp], overridable through [DLEARN_SUBSUMPTION] ([backtrack]/[bt]/
+    [0]/[off] select the backtracking engine); [parallel_min_batch]
+    defaults to 16. All environment variables read at each call. *)
 val default : target:Dlearn_relation.Schema.t -> t
 
 val pp : Format.formatter -> t -> unit

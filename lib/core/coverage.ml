@@ -152,17 +152,21 @@ let prefilter_target (_ctx : Context.t) (entry : Context.ground_entry) =
           entry.Context.prefilter_target <- Some t;
           t)
 
+(* The engine is threaded explicitly from the config so the hot path
+   never re-reads DLEARN_SUBSUMPTION. *)
 let passes_prefilter ctx prepared entry =
   let budget = ctx.Context.config.Config.subsumption_budget in
-  Subsumption.subsumes_target_bool ~budget ~repair_connectivity:false
+  let engine = ctx.Context.config.Config.subsumption_engine in
+  Subsumption.subsumes_target_bool ~engine ~budget ~repair_connectivity:false
     (Memo.force prepared.skeleton)
     (prefilter_target ctx entry)
 
 let covers_positive ctx prepared e =
   let budget = ctx.Context.config.Config.subsumption_budget in
+  let engine = ctx.Context.config.Config.subsumption_engine in
   let entry = Bottom_clause.ground ctx e in
   if
-    Subsumption.subsumes_target_bool ~budget prepared.clause
+    Subsumption.subsumes_target_bool ~engine ~budget prepared.clause
       (ground_target ctx entry)
   then true
   else if not (passes_prefilter ctx prepared entry) then false
@@ -174,7 +178,7 @@ let covers_positive ctx prepared e =
          (fun cr ->
            List.exists
              (fun gr ->
-               Subsumption.subsumes_target_bool ~budget
+               Subsumption.subsumes_target_bool ~engine ~budget
                  ~repair_connectivity:false cr gr)
              grs)
          crs
@@ -182,6 +186,7 @@ let covers_positive ctx prepared e =
 
 let covers_negative ctx prepared e =
   let budget = ctx.Context.config.Config.subsumption_budget in
+  let engine = ctx.Context.config.Config.subsumption_engine in
   let entry = Bottom_clause.ground ctx e in
   if not (passes_prefilter ctx prepared entry) then false
   else
@@ -191,8 +196,8 @@ let covers_negative ctx prepared e =
     (fun cr ->
       List.exists
         (fun gr ->
-          Subsumption.subsumes_target_bool ~budget ~repair_connectivity:false
-            cr gr)
+          Subsumption.subsumes_target_bool ~engine ~budget
+            ~repair_connectivity:false cr gr)
         grs)
     crs
 
@@ -207,9 +212,10 @@ let covers_negative ctx prepared e =
    test pinning their equivalence. *)
 let covers_positive_cfd_split ?(prefilter = true) ctx prepared e =
   let budget = ctx.Context.config.Config.subsumption_budget in
+  let engine = ctx.Context.config.Config.subsumption_engine in
   let entry = Bottom_clause.ground ctx e in
   let ge = entry.Context.ground in
-  if Subsumption.subsumes_bool ~budget prepared.clause ge then true
+  if Subsumption.subsumes_bool ~engine ~budget prepared.clause ge then true
   else if prefilter && not (passes_prefilter ctx prepared entry) then false
   else if not (has_cfd_repairs prepared.clause || has_cfd_repairs ge) then
     false
@@ -219,15 +225,28 @@ let covers_positive_cfd_split ?(prefilter = true) ctx prepared e =
     cas <> []
     && List.for_all
          (fun ca ->
-           List.exists (fun ga -> Subsumption.subsumes_bool ~budget ca ga) gas)
+           List.exists
+             (fun ga -> Subsumption.subsumes_bool ~engine ~budget ca ga)
+             gas)
          cas
   end
 
+(* Fanning a batch out over the pool only pays off past a certain size:
+   the imdb1 replay in BENCH_coverage.json ran at 0.42x under the pool
+   because its example set is tiny. Below the configured threshold the
+   batch predicates stay on the plain sequential path — the results are
+   identical either way. *)
+let small_batch ctx n = n < ctx.Context.config.Config.parallel_min_batch
+
 let covers_positive_batch ctx prepared es =
-  Pool.map_list (Context.pool ctx) (covers_positive ctx prepared) es
+  if small_batch ctx (List.length es) then
+    List.map (covers_positive ctx prepared) es
+  else Pool.map_list (Context.pool ctx) (covers_positive ctx prepared) es
 
 let covers_negative_batch ctx prepared es =
-  Pool.map_list (Context.pool ctx) (covers_negative ctx prepared) es
+  if small_batch ctx (List.length es) then
+    List.map (covers_negative ctx prepared) es
+  else Pool.map_list (Context.pool ctx) (covers_negative ctx prepared) es
 
 (* ------------------------------------------------------------------ *)
 (* Incremental engine: dense-id verdict bitsets, cross-seed cache,
@@ -281,8 +300,21 @@ let resolve ctx prepared ~negative ~assume tuples =
       else begin
         let pred = if negative then covers_negative else covers_positive in
         let packed =
-          Pool.fill (Context.pool ctx) ~n:nres (fun i ->
-              pred ctx prepared (snd residue_arr.(i)))
+          let p i = pred ctx prepared (snd residue_arr.(i)) in
+          if small_batch ctx nres then begin
+            (* Same byte-aligned packing as [Pool.fill]: bit [i land 7] of
+               byte [i lsr 3]. *)
+            let buf = Bytes.make ((nres + 7) / 8) '\000' in
+            for i = 0 to nres - 1 do
+              if p i then
+                Bytes.set buf (i lsr 3)
+                  (Char.chr
+                     (Char.code (Bytes.get buf (i lsr 3))
+                     lor (1 lsl (i land 7))))
+            done;
+            buf
+          end
+          else Pool.fill (Context.pool ctx) ~n:nres p
         in
         bump stats.Context.tested nres;
         let tested_ids = ref [] and covered_ids = ref [] in
@@ -402,8 +434,12 @@ let coverage ctx prepared ~pos ~neg =
     (count_ids pc pids, count_ids nc nids)
   end
   else begin
-    let pool = Context.pool ctx in
-    let p = Pool.filter_count_list pool (covers_positive ctx prepared) pos in
-    let n = Pool.filter_count_list pool (covers_negative ctx prepared) neg in
+    let count pred es =
+      if small_batch ctx (List.length es) then
+        List.fold_left (fun acc e -> if pred e then acc + 1 else acc) 0 es
+      else Pool.filter_count_list (Context.pool ctx) pred es
+    in
+    let p = count (covers_positive ctx prepared) pos in
+    let n = count (covers_negative ctx prepared) neg in
     (p, n)
   end

@@ -231,6 +231,8 @@ let learn ctx ~pos ~neg =
           (Atomic.get cs.Context.cache_hits)
           (Atomic.get cs.Context.pruned))
   end;
+  if config.Config.subsumption_engine = `Csp then
+    Dlearn_logic.Subsumption.log_stats ();
   {
     definition;
     stats;

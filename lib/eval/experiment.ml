@@ -75,6 +75,9 @@ let with_jobs w jobs =
 let with_incremental w incremental =
   with_config w (fun c -> { c with Config.incremental_coverage = incremental })
 
+let with_subsumption w engine =
+  with_config w (fun c -> { c with Config.subsumption_engine = engine })
+
 let with_sample_size w sample_size =
   with_config w (fun c -> { c with Config.sample_size })
 

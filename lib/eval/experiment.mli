@@ -34,6 +34,12 @@ val with_jobs : Workload.t -> int -> Workload.t
     identical definition — see docs/COVERAGE.md. *)
 val with_incremental : Workload.t -> bool -> Workload.t
 
+(** [with_subsumption w e] selects the θ-subsumption search engine
+    ([Config.subsumption_engine]); both engines learn the identical
+    definition — see docs/SUBSUMPTION.md. *)
+val with_subsumption :
+  Workload.t -> Dlearn_logic.Subsumption.engine -> Workload.t
+
 (** [with_sample_size w s] sets the per-relation literal cap. *)
 val with_sample_size : Workload.t -> int -> Workload.t
 

@@ -14,6 +14,8 @@ let bind t v term =
   | None -> Some (M.add v term t)
   | Some existing -> if Term.equal existing term then Some t else None
 
+let add t v term = M.add v term t
+
 let apply_term t = function
   | Term.Var v as var -> ( match M.find_opt v t with Some x -> x | None -> var)
   | Term.Const _ as c -> c

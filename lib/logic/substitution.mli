@@ -19,6 +19,12 @@ val mem : t -> string -> bool
     core of subsumption search. *)
 val bind : t -> string -> Term.t -> t option
 
+(** [add t v term] is [bind] without the consistency check: any existing
+    binding of [v] is overwritten. Used to reconstruct a witness
+    substitution from the CSP kernel's binding array, where consistency
+    was already enforced on the int representation. *)
+val add : t -> string -> Term.t -> t
+
 (** [apply_term t term] resolves a variable through [t] (one step —
     substitutions here always map into the target clause's term space, so
     no iteration is needed). *)

@@ -13,13 +13,40 @@
     [Neq] when their classes differ. This mirrors the "additional testings"
     for clauses with equality and similarity the paper references (§4.2).
 
-    The search is backtracking with dynamic most-constrained-literal
-    selection and a step budget for pathological inputs. *)
+    Two search engines decide the relation (see [docs/SUBSUMPTION.md]):
+
+    - [`Csp] (default): a CSP-style matching kernel. Setup interns C's
+      variables and D's terms to dense ints and precomputes per generative
+      literal its candidate table; search runs over a mutable binding
+      array with an undo trail, forward-checks the candidate domains of
+      connected literals on each assignment, and selects literals by
+      minimum remaining domain within statically computed connected
+      components.
+    - [`Backtrack]: the original backtracking search over persistent
+      substitutions with dynamic component decomposition and
+      most-constrained-literal selection — kept as the rollout fallback
+      and bench baseline.
+
+    Both are bounded by a step budget for pathological inputs and decide
+    the same relation (property-tested against each other and against
+    {!subsumes_naive}). *)
 
 type outcome =
   | Subsumed of Substitution.t
   | Not_subsumed
   | Budget_exhausted
+
+(** Search engine selection. *)
+type engine = [ `Csp | `Backtrack ]
+
+(** [default_engine ()] reads [DLEARN_SUBSUMPTION] ([backtrack]/[bt]/[0]/
+    [off] select [`Backtrack]; anything else, including unset, selects
+    [`Csp]). Read per call so a test matrix can flip it. *)
+val default_engine : unit -> engine
+
+val engine_of_string : string -> engine option
+
+val engine_name : engine -> string
 
 (** A target clause D preprocessed for matching: literal indexes by
     predicate and origin, the restriction-literal closure, and the repair
@@ -29,30 +56,51 @@ type target
 
 val prepare : Clause.t -> target
 
-(** [subsumes_target ?budget ?repair_connectivity c t] decides [c ⊆θ D]
-    against a prepared target. *)
+(** [subsumes_target ?engine ?budget ?repair_connectivity c t] decides
+    [c ⊆θ D] against a prepared target. [engine] defaults to
+    {!default_engine}[ ()]. *)
 val subsumes_target :
-  ?budget:int -> ?repair_connectivity:bool -> Clause.t -> target -> outcome
+  ?engine:engine ->
+  ?budget:int ->
+  ?repair_connectivity:bool ->
+  Clause.t ->
+  target ->
+  outcome
 
 val subsumes_target_bool :
-  ?budget:int -> ?repair_connectivity:bool -> Clause.t -> target -> bool
+  ?engine:engine ->
+  ?budget:int ->
+  ?repair_connectivity:bool ->
+  Clause.t ->
+  target ->
+  bool
 
-(** [subsumes ?budget ?repair_connectivity c d] decides [c ⊆θ d].
+(** [subsumes ?engine ?budget ?repair_connectivity c d] decides [c ⊆θ d].
     [budget] (default 200_000) bounds unification attempts.
     [repair_connectivity] (default [true]) enables Definition 4.4's second
     condition; the repair-application machinery disables it when comparing
     fully repaired (repair-free) clauses, where it is vacuous anyway. *)
 val subsumes :
-  ?budget:int -> ?repair_connectivity:bool -> Clause.t -> Clause.t -> outcome
+  ?engine:engine ->
+  ?budget:int ->
+  ?repair_connectivity:bool ->
+  Clause.t ->
+  Clause.t ->
+  outcome
 
 (** [subsumes_bool c d] is [subsumes c d = Subsumed _]; budget exhaustion
     counts as failure and is logged at warning level. *)
 val subsumes_bool :
-  ?budget:int -> ?repair_connectivity:bool -> Clause.t -> Clause.t -> bool
+  ?engine:engine ->
+  ?budget:int ->
+  ?repair_connectivity:bool ->
+  Clause.t ->
+  Clause.t ->
+  bool
 
 (** [equivalent c d] holds when each clause θ-subsumes the other —
     the equivalence used by Proposition 4.8. *)
-val equivalent : ?budget:int -> Clause.t -> Clause.t -> bool
+val equivalent : ?engine:engine -> ?budget:int -> Clause.t -> Clause.t -> bool
 
 (** [subsumes_naive c d] is a reference implementation: plain chronological
     backtracking over the body literals in order, no component
@@ -62,6 +110,28 @@ val equivalent : ?budget:int -> Clause.t -> Clause.t -> bool
     search-strategy ablation. *)
 val subsumes_naive :
   ?budget:int -> ?repair_connectivity:bool -> Clause.t -> Clause.t -> outcome
+
+(** Process-wide counters of the CSP kernel, aggregated across domains.
+    [nodes] counts candidate assignments tried, [propagations] candidates
+    pruned by forward checking, [wipeouts] domains emptied by propagation.
+    Setup and search wall-clock time are accumulated separately. Per-solve
+    figures are logged at debug level on the [dlearn.subsumption] source. *)
+type stats = {
+  solves : int;
+  nodes : int;
+  propagations : int;
+  wipeouts : int;
+  setup_seconds : float;
+  search_seconds : float;
+}
+
+val stats : unit -> stats
+
+val reset_stats : unit -> unit
+
+(** [log_stats ()] reports the accumulated counters at info level on the
+    [dlearn.subsumption] source. *)
+val log_stats : unit -> unit
 
 (** Incremental matching primitives for the generalisation step (§4.2):
     ProGolem-style ARMG walks a clause literal by literal, maintaining a

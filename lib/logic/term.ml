@@ -34,6 +34,16 @@ let to_string = function
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)
 
+(* Hashtable keyed by terms (structural equality). The subsumption kernel
+   uses it to intern a target clause's terms to dense int ids so the inner
+   matching loop compares ints instead of values. *)
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)
+
 module Fresh = struct
   type gen = {
     prefix : string;

@@ -30,6 +30,10 @@ val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string
 
+(** Hashtable keyed by terms under structural equality, used to intern
+    terms to dense int ids in the subsumption kernel. *)
+module Tbl : Hashtbl.S with type key = t
+
 (** A generator of fresh variable names with a given prefix, threading a
     counter. [Fresh.make "r"] yields ["r0"], ["r1"], ... *)
 module Fresh : sig

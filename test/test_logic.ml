@@ -385,6 +385,35 @@ let subsumption_tests =
         let d = Clause.make ~head:(rel "T" [ s "0" ]) body in
         Alcotest.(check bool) "exhausted" true
           (Subsumption.subsumes ~budget:3 c d = Subsumption.Budget_exhausted));
+    Alcotest.test_case "duplicate shared body literal expands twice" `Quick
+      (fun () ->
+        (* Regression: component solving used to drop EVERY physically
+           shared occurrence of the selected literal, so a duplicated body
+           literal cost one candidate expansion instead of two. Pin the
+           budget spend: with 10 candidate facts per occurrence, a budget
+           of 15 admits only the first expansion and must exhaust (both
+           engines charge 10 per enumerated bucket), while 100 suffices to
+           subsume. The buggy search returned Subsumed within 15. *)
+        let l = rel "p" [ v "x"; v "y" ] in
+        let c = Clause.make ~head:(rel "T" [ v "h" ]) [ l; l ] in
+        let body =
+          List.init 10 (fun i ->
+              rel "p" [ s (string_of_int i); s (string_of_int (i + 1)) ])
+        in
+        let d = Clause.make ~head:(rel "T" [ s "k" ]) body in
+        List.iter
+          (fun engine ->
+            let name = Subsumption.engine_name engine in
+            Alcotest.(check bool)
+              (name ^ ": budget 15 exhausts on the second occurrence") true
+              (Subsumption.subsumes ~engine ~budget:15 c d
+              = Subsumption.Budget_exhausted);
+            Alcotest.(check bool)
+              (name ^ ": budget 100 subsumes") true
+              (match Subsumption.subsumes ~engine ~budget:100 c d with
+              | Subsumption.Subsumed _ -> true
+              | _ -> false))
+          [ `Csp; `Backtrack ]);
     Alcotest.test_case "clause subsumes itself (with repairs)" `Quick (fun () ->
         let c = example_3_3 () in
         Alcotest.(check bool) "reflexive" true (Subsumption.subsumes_bool c c));
@@ -595,6 +624,43 @@ let repair_clause_gen =
 
 let repair_clause_arb = QCheck.make ~print:Clause.to_string repair_clause_gen
 
+(* Clauses mixing variable/constant schema atoms, constant-argument
+   similarity literals, Eq/Neq check literals over variables and
+   constants, and an optional well-formed MD repair group — the full
+   literal grammar the subsumption engines must agree on. *)
+let mixed_clause_gen =
+  let open QCheck.Gen in
+  let const = map (fun c -> Term.str (String.make 1 c)) (char_range 'a' 'e') in
+  let term = oneof [ const; map Term.var (oneofl [ "mx"; "my"; "mz" ]) ] in
+  let lit =
+    frequency
+      [
+        (3, map2 (fun t1 t2 -> rel "p" [ t1; t2 ]) term term);
+        (2, map (fun t -> rel "q" [ t ]) term);
+        (1, map2 (fun t1 t2 -> Literal.Sim (t1, t2)) const const);
+        (1, map2 (fun a b -> Literal.Eq (a, b)) term term);
+        (1, map2 (fun a b -> Literal.Neq (a, b)) term term);
+      ]
+  in
+  let* body = list_size (0 -- 6) lit in
+  let* head_arg = term in
+  let base = Clause.make ~head:(rel "t" [ head_arg ]) body in
+  let* add_group = bool in
+  let* x = const and* y = const in
+  if (not add_group) || Term.equal x y then return base
+  else begin
+    let sim = Literal.Sim (x, y) in
+    let group =
+      [ sim ]
+      @ md_group ~md:"gm" ~group:9 ~sims_of_left:[ sim ] ~sims_of_right:[ sim ]
+          (x, v "gvx") (y, v "gvy")
+          [ Cond.Csim (x, y) ]
+    in
+    return { base with Clause.body = base.Clause.body @ group }
+  end
+
+let mixed_clause_arb = QCheck.make ~print:Clause.to_string mixed_clause_gen
+
 (* Repair-free clauses exercising the whole concrete grammar of
    lib/logic/parser.mli — which claims to be the inverse of
    Clause.to_string: multi-char identifiers with digits/underscores/primes,
@@ -727,6 +793,38 @@ let qcheck_tests =
            with
            | `Maybe, _ | _, `Maybe -> true
            | a, b -> a = b));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"csp, backtrack and naive engines agree (budgets, connectivity)"
+         ~count:500
+         (QCheck.triple mixed_clause_arb mixed_clause_arb QCheck.bool)
+         (fun (c, d, rc) ->
+           (* Every definite answer — any engine, full or tiny budget, with
+              or without the repair-connectivity condition — must agree:
+              budget exhaustion may differ between engines (they spend in
+              different places), but a definite verdict never depends on
+              the engine or the budget. *)
+           let norm = function
+             | Subsumption.Subsumed _ -> `Yes
+             | Subsumption.Not_subsumed -> `No
+             | Subsumption.Budget_exhausted -> `Maybe
+           in
+           let outcomes budget =
+             [
+               Subsumption.subsumes ~engine:`Csp ~budget
+                 ~repair_connectivity:rc c d;
+               Subsumption.subsumes ~engine:`Backtrack ~budget
+                 ~repair_connectivity:rc c d;
+               Subsumption.subsumes_naive ~budget ~repair_connectivity:rc c d;
+             ]
+           in
+           let verdicts =
+             List.map norm (outcomes 500_000 @ outcomes 60)
+             |> List.filter (fun o -> o <> `Maybe)
+           in
+           match verdicts with
+           | [] -> true
+           | first :: rest -> List.for_all (fun o -> o = first) rest));
     QCheck_alcotest.to_alcotest
       (QCheck.Test.make ~name:"subsumption transitivity (sampled)" ~count:100
          (QCheck.pair clause_arb clause_arb) (fun (c, d) ->

@@ -284,6 +284,10 @@ let toy_config ~jobs ~threshold =
     min_pos = 2;
     sample_positives = 4;
     num_domains = jobs;
+    (* The toy batches are tiny; drop the sequential cutover so the
+       equivalence properties keep exercising the pool. The cutover itself
+       is pinned separately below. *)
+    parallel_min_batch = 2;
   }
 
 let ex id = Tuple.of_strings [ id ]
@@ -465,6 +469,40 @@ let ground_entry_stress () =
       results
   done
 
+(* The batch predicates stay sequential below [Config.parallel_min_batch]
+   (pool fan-out costs more than it saves on tiny batches — see the imdb1
+   replay in BENCH_coverage.json) and submit to the pool at the threshold;
+   both paths return identical verdicts. *)
+let cutover_tests =
+  [
+    Alcotest.test_case "parallel_min_batch defaults to 16" `Quick (fun () ->
+        Alcotest.(check int) "default" 16
+          (Config.default ~target).Config.parallel_min_batch);
+    Alcotest.test_case "small batches skip the pool, large batches use it"
+      `Quick (fun () ->
+        let config =
+          { (toy_config ~jobs:2 ~threshold:0.7) with Config.parallel_min_batch = 16 }
+        in
+        let ctx = Context.create config (toy_db ()) [ md_title ] [] in
+        let prep = Coverage.prepare ctx (hand_clause ()) in
+        let pool = Pool.get 2 in
+        let batch_of n = List.init n (fun i -> examples.(i mod 4)) in
+        (* Warm the ground caches so only the batch fan-out touches the
+           pool below. *)
+        ignore (Coverage.covers_positive_batch ctx prep (batch_of 4));
+        let before = (Pool.stats pool).Pool.tasks in
+        let small = Coverage.covers_positive_batch ctx prep (batch_of 15) in
+        let mid = (Pool.stats pool).Pool.tasks in
+        Alcotest.(check int) "below the threshold: no pool task" before mid;
+        let large = Coverage.covers_positive_batch ctx prep (batch_of 16) in
+        let after = (Pool.stats pool).Pool.tasks in
+        Alcotest.(check bool) "at the threshold: pool task submitted" true
+          (after > mid);
+        Alcotest.(check (list bool))
+          "identical verdicts on both paths" small
+          (List.filteri (fun i _ -> i < 15) large))
+  ]
+
 let stress_tests =
   [
     Alcotest.test_case "shared ground entry memoizes once across domains"
@@ -496,5 +534,6 @@ let () =
       ("pool", pool_tests);
       ("memo", memo_tests);
       ("equivalence", equivalence_tests);
+      ("cutover", cutover_tests);
       ("stress", stress_tests);
     ]
