@@ -223,6 +223,16 @@ let ablation_clause_size ~folds:_ ~n () =
    reporting it honestly rather than hard-coding an expectation. *)
 let bench_jobs = ref 4
 
+(* --report: attach the unified observability report (span durations and
+   counters, Obs.report_json) to the BENCH_*.json files, so a committed
+   bench run carries its own stage breakdown. *)
+let bench_report = ref false
+
+let obs_field () =
+  if !bench_report then
+    Printf.sprintf ",\n  \"obs\": %s\n" (Dlearn_obs.Obs.report_json ())
+  else "\n"
+
 let bench_parallel ~folds:_ ~n () =
   let jobs = max 2 !bench_jobs in
   Printf.printf "== Parallel coverage: 1 vs %d domains ==\n" jobs;
@@ -442,7 +452,7 @@ let bench_coverage ~folds:_ ~n () =
         name chain npos nneg ts ti tp (ts /. ti) (ts /. tp)
         (if i = List.length results - 1 then "" else ","))
     results;
-  Printf.fprintf oc "  ]\n}\n";
+  Printf.fprintf oc "  ]%s}\n" (obs_field ());
   close_out oc;
   Printf.printf "wrote BENCH_coverage.json\n\n"
 
@@ -593,7 +603,8 @@ let bench_subsumption ~folds:_ ~n () =
         st.Dlearn_logic.Subsumption.search_seconds
         (if i = List.length results - 1 then "" else ","))
     results;
-  Printf.fprintf oc "  ],\n  \"geomean_speedup_nontrivial\": %.3f\n}\n" geo;
+  Printf.fprintf oc "  ],\n  \"geomean_speedup_nontrivial\": %.3f%s}\n" geo
+    (obs_field ());
   close_out oc;
   Printf.printf "wrote BENCH_subsumption.json\n\n"
 
@@ -618,7 +629,7 @@ let all_benches =
 
 let usage ?(code = 1) () =
   Printf.printf
-    "usage: main.exe [%s|micro|all] [--folds K] [--n N] [--jobs N]\n"
+    "usage: main.exe [%s|micro|all] [--folds K] [--n N] [--jobs N] [--report]\n"
     (String.concat "|" (List.map fst all_benches));
   exit code
 
@@ -643,6 +654,9 @@ let () =
            drivers create below (Config.default reads the variable). *)
         bench_jobs := int_of_string v;
         Unix.putenv "DLEARN_NUM_DOMAINS" v;
+        parse rest
+    | "--report" :: rest ->
+        bench_report := true;
         parse rest
     | name :: rest when name.[0] <> '-' ->
         which := name;

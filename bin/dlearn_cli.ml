@@ -86,6 +86,22 @@ let subsumption_engine_arg =
     & opt (some (enum [ ("csp", `Csp); ("backtrack", `Backtrack) ])) None
     & info [ "subsumption-engine" ] ~docv:"ENGINE" ~doc)
 
+let trace_arg =
+  let doc =
+    "Record the run and write a Chrome trace-event JSON to $(docv) \
+     (loadable in Perfetto or chrome://tracing); also settable via \
+     DLEARN_TRACE. Tracing never changes what is learned — see \
+     docs/OBSERVABILITY.md."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let report_arg =
+  let doc =
+    "Print the per-stage observability report (span durations, counters) \
+     after the run."
+  in
+  Arg.(value & flag & info [ "report" ] ~doc)
+
 let verbose_arg =
   let doc = "Log learner progress." in
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
@@ -123,8 +139,8 @@ let learn_cmd =
     let doc = "Cross-validation folds." in
     Arg.(value & opt int 5 & info [ "folds" ] ~docv:"K" ~doc)
   in
-  let run dataset system n km depth p folds jobs no_incremental engine verbose
-      =
+  let run dataset system n km depth p folds jobs no_incremental engine trace
+      report verbose =
     setup_logs verbose;
     let w = apply_overrides (make_dataset ?n dataset) km depth p in
     let w = match jobs with Some j -> Experiment.with_jobs w j | None -> w in
@@ -136,19 +152,23 @@ let learn_cmd =
       | Some e -> Experiment.with_subsumption w e
       | None -> w
     in
+    let w =
+      match trace with Some t -> Experiment.with_trace w (Some t) | None -> w
+    in
     let system = system_of_string system in
     Printf.printf "%s\n" (Workload.describe w);
     let r = Experiment.evaluate ~folds system w in
     Printf.printf "%s: F1=%.2f (+/-%.2f) precision=%.2f recall=%.2f %.1fs/fold\n"
       (Baselines.name system) r.Experiment.f1 r.Experiment.f1_std
-      r.Experiment.precision r.Experiment.recall r.Experiment.seconds
+      r.Experiment.precision r.Experiment.recall r.Experiment.seconds;
+    if report then print_string (Dlearn_obs.Obs.report ())
   in
   Cmd.v
     (Cmd.info "learn" ~doc:"Cross-validate a system on a workload.")
     Term.(
       const run $ dataset_arg $ system_arg $ n_arg $ km_arg $ depth_arg $ p_arg
       $ folds_arg $ jobs_arg $ no_incremental_arg $ subsumption_engine_arg
-      $ verbose_arg)
+      $ trace_arg $ report_arg $ verbose_arg)
 
 (* dlearn show *)
 let show_cmd =

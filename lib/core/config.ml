@@ -22,6 +22,7 @@ type t = {
   incremental_coverage : bool;
   subsumption_engine : Dlearn_logic.Subsumption.engine;
   parallel_min_batch : int;
+  trace : string option;
   seed : int;
 }
 
@@ -46,6 +47,14 @@ let default_incremental () =
       | "0" | "false" | "off" | "no" -> false
       | _ -> true)
   | None -> true
+
+(* DLEARN_TRACE=out.json records a Chrome trace of every run that goes
+   through [Experiment.evaluate] (the CLI's --trace flag sets the same
+   field). Empty or unset means no tracing. *)
+let default_trace () =
+  match Sys.getenv_opt "DLEARN_TRACE" with
+  | Some s when String.trim s <> "" -> Some (String.trim s)
+  | Some _ | None -> None
 
 let default ~target =
   {
@@ -72,6 +81,7 @@ let default ~target =
     incremental_coverage = default_incremental ();
     subsumption_engine = Dlearn_logic.Subsumption.default_engine ();
     parallel_min_batch = 16;
+    trace = default_trace ();
     seed = 42;
   }
 

@@ -63,6 +63,10 @@ type t = {
       (** batches smaller than this stay on the sequential path even when
           [num_domains > 1]: fan-out overhead dominates for tiny example
           sets (see BENCH_coverage.json's imdb1 replay) *)
+  trace : string option;
+      (** when set, [Experiment.evaluate] records the run and writes a
+          Chrome trace-event JSON (Perfetto-loadable) to this path;
+          tracing never changes results — see docs/OBSERVABILITY.md *)
   seed : int;  (** RNG seed: sampling is deterministic given the seed *)
 }
 
@@ -74,7 +78,9 @@ type t = {
     ([0]/[false]/[off]/[no] disable it); [subsumption_engine] defaults to
     [`Csp], overridable through [DLEARN_SUBSUMPTION] ([backtrack]/[bt]/
     [0]/[off] select the backtracking engine); [parallel_min_batch]
-    defaults to 16. All environment variables read at each call. *)
+    defaults to 16; [trace] defaults to the [DLEARN_TRACE] path when that
+    variable is set and non-empty, [None] otherwise. All environment
+    variables read at each call. *)
 val default : target:Dlearn_relation.Schema.t -> t
 
 val pp : Format.formatter -> t -> unit

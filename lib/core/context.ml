@@ -1,5 +1,6 @@
 open Dlearn_relation
 open Dlearn_constraints
+module Obs = Dlearn_obs.Obs
 
 type ground_entry = {
   ground : Dlearn_logic.Clause.t;
@@ -13,14 +14,16 @@ type ground_entry = {
   mutable prefilter_target : Dlearn_logic.Subsumption.target option;
 }
 
-(* Incremental-coverage counters, cumulative per context. Atomics: they
-   are bumped from inside parallel fills and read by the learner's
-   logging. *)
+(* Incremental-coverage counters on the Obs registry ([coverage.*]
+   names): bumped from inside parallel fills via the registry's
+   per-domain shards, read merged by the learner's logging. The registry
+   is process-wide, so contexts share the counters; readers interested in
+   one run diff values around it (as the learner and tests do). *)
 type cover_stats = {
-  tested : int Atomic.t; (* verdicts computed by running a predicate *)
-  inherited : int Atomic.t; (* positives inherited from the ARMG parent *)
-  cache_hits : int Atomic.t; (* verdicts found in the cross-seed cache *)
-  pruned : int Atomic.t; (* candidates cut short by the score bound *)
+  tested : Obs.counter; (* verdicts computed by running a predicate *)
+  inherited : Obs.counter; (* positives inherited from the ARMG parent *)
+  cache_hits : Obs.counter; (* verdicts found in the cross-seed cache *)
+  pruned : Obs.counter; (* candidates cut short by the score bound *)
 }
 
 type t = {
@@ -77,10 +80,10 @@ let create config db mds cfds =
     cover_lock = Mutex.create ();
     cover_stats =
       {
-        tested = Atomic.make 0;
-        inherited = Atomic.make 0;
-        cache_hits = Atomic.make 0;
-        pruned = Atomic.make 0;
+        tested = Obs.counter "coverage.tested";
+        inherited = Obs.counter "coverage.inherited";
+        cache_hits = Obs.counter "coverage.cache_hits";
+        pruned = Obs.counter "coverage.pruned";
       };
   }
 

@@ -22,17 +22,20 @@ type ground_entry = {
 }
 
 type cover_stats = {
-  tested : int Atomic.t;
+  tested : Dlearn_obs.Obs.counter;
       (** coverage verdicts computed by actually running a predicate *)
-  inherited : int Atomic.t;
+  inherited : Dlearn_obs.Obs.counter;
       (** positive verdicts inherited from the ARMG parent without testing *)
-  cache_hits : int Atomic.t;
+  cache_hits : Dlearn_obs.Obs.counter;
       (** verdicts found in the cross-seed cover cache *)
-  pruned : int Atomic.t;
+  pruned : Dlearn_obs.Obs.counter;
       (** candidates whose negative sweep was cut short by the score bound *)
 }
-(** Cumulative incremental-coverage counters; logged by the learner on
-    [dlearn.learner]. All zero when [Config.incremental_coverage] is off. *)
+(** Cumulative incremental-coverage counters, registered process-wide on
+    the {!Dlearn_obs.Obs} registry under [coverage.*] (every context
+    shares them; diff {!Dlearn_obs.Obs.value} around a run to attribute
+    it). Logged by the learner on [dlearn.learner]. Never bumped when
+    [Config.incremental_coverage] is off. *)
 
 type t = {
   config : Config.t;

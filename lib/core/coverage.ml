@@ -1,6 +1,7 @@
 open Dlearn_logic
 module Memo = Dlearn_parallel.Memo
 module Pool = Dlearn_parallel.Pool
+module Obs = Dlearn_obs.Obs
 
 module Bitset = Cover_set.Bitset
 
@@ -253,8 +254,7 @@ let covers_negative_batch ctx prepared es =
    generalization-monotone inheritance and score-bound pruning. See
    docs/COVERAGE.md for the layout and the soundness argument. *)
 
-let bump counter k =
-  if k <> 0 then ignore (Atomic.fetch_and_add counter k)
+let bump counter k = if k <> 0 then Obs.add counter k
 
 (* Resolve the verdicts of [prepared] over [tuples] for one polarity.
    Each distinct example id is decided by, in order: the [assume] set
@@ -269,7 +269,11 @@ let bump counter k =
 let resolve ctx prepared ~negative ~assume tuples =
   let ids = List.map (fun e -> Context.example_id ctx e) tuples in
   if tuples = [] then (ids, Bitset.empty)
-  else begin
+  else
+    Obs.span "coverage.resolve"
+      ~args:[ ("polarity", if negative then "neg" else "pos") ]
+    @@ fun () ->
+    begin
     let stats = ctx.Context.cover_stats in
     let entry = Context.cover_entry ctx (Memo.force prepared.canon) in
     let tested, covered =
@@ -376,6 +380,7 @@ let rec raise_bound bound s =
    before pruning still merge into the cache — each is individually
    correct. *)
 let score_candidate ctx prepared ~assume ~pos ~neg ~bound =
+  Obs.span "coverage.score_candidate" @@ fun () ->
   let stats = ctx.Context.cover_stats in
   let pids, pcov = resolve ctx prepared ~negative:false ~assume pos in
   let p = count_ids pcov pids in
@@ -428,6 +433,7 @@ let score_candidate ctx prepared ~assume ~pos ~neg ~bound =
   sweep 0 neg
 
 let coverage ctx prepared ~pos ~neg =
+  Obs.span "coverage.batch" @@ fun () ->
   if ctx.Context.config.Config.incremental_coverage then begin
     let pids, pc = resolve ctx prepared ~negative:false ~assume:Bitset.empty pos in
     let nids, nc = resolve ctx prepared ~negative:true ~assume:Bitset.empty neg in

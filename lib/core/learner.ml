@@ -4,6 +4,7 @@ open Dlearn_logic
 let src = Logs.Src.create "dlearn.learner"
 
 module Log = (val Logs.src_log src : Logs.LOG)
+module Obs = Dlearn_obs.Obs
 
 type clause_stats = {
   clause : Clause.t;
@@ -54,9 +55,10 @@ let refine ctx ~uncovered ~neg clause =
     in
     let candidates =
       let raw =
-        List.filter_map (fun e' -> Generalization.armg ctx clause e')
-          sample_pos
-        |> List.filter (fun c -> not (Clause.equal c clause))
+        Obs.span "learn.armg" (fun () ->
+            List.filter_map (fun e' -> Generalization.armg ctx clause e')
+              sample_pos
+            |> List.filter (fun c -> not (Clause.equal c clause)))
       in
       (* Distinct sampled positives often yield the same generalisation;
          score each candidate once — dedup on the canonical form, computed
@@ -78,19 +80,22 @@ let refine ctx ~uncovered ~neg clause =
        are identical to the sequential path. *)
     let bound = Atomic.make score in
     let scored =
-      Dlearn_parallel.Pool.map_list (Context.pool ctx)
-        (fun c ->
-          let prep = Coverage.prepare ctx c in
-          if incremental then
-            let cp, cn, cov, _complete =
-              Coverage.score_candidate ctx prep ~assume:parent_cov
-                ~pos:uncovered ~neg ~bound
-            in
-            (c, prep, cov, (cp, cn))
-          else
-            let cov = Coverage.coverage ctx prep ~pos:uncovered ~neg in
-            (c, prep, Coverage.Bitset.empty, cov))
-        candidates
+      Obs.span "learn.score_batch"
+        ~args:[ ("candidates", string_of_int (List.length candidates)) ]
+        (fun () ->
+          Dlearn_parallel.Pool.map_list (Context.pool ctx)
+            (fun c ->
+              let prep = Coverage.prepare ctx c in
+              if incremental then
+                let cp, cn, cov, _complete =
+                  Coverage.score_candidate ctx prep ~assume:parent_cov
+                    ~pos:uncovered ~neg ~bound
+                in
+                (c, prep, cov, (cp, cn))
+              else
+                let cov = Coverage.coverage ctx prep ~pos:uncovered ~neg in
+                (c, prep, Coverage.Bitset.empty, cov))
+            candidates)
     in
     (* Higher score first; on ties the smaller clause — the more general
        one — so the climb keeps shedding redundant literals even when the
@@ -119,7 +124,8 @@ let refine ctx ~uncovered ~neg clause =
      (1, 0) avoids an expensive full sweep with the raw clause. The empty
      inherited set is the matching under-approximation: first-round
      candidates test every positive, exactly like the from-scratch path. *)
-  climb clause prepared Coverage.Bitset.empty (1, 0)
+  Obs.span "learn.refine" (fun () ->
+      climb clause prepared Coverage.Bitset.empty (1, 0))
 
 (* Static preflight (§3–§4 preconditions): the covering loop below only
    makes sense over satisfiable CFD sets and well-formed MDs, so check
@@ -141,6 +147,13 @@ let preflight ctx =
   end
 
 let learn ctx ~pos ~neg =
+  Obs.span "learn"
+    ~args:
+      [
+        ("pos", string_of_int (List.length pos));
+        ("neg", string_of_int (List.length neg));
+      ]
+  @@ fun () ->
   preflight ctx;
   let config = ctx.Context.config in
   let target = Schema.name config.Config.target in
@@ -152,7 +165,10 @@ let learn ctx ~pos ~neg =
         if List.length acc >= config.Config.max_clauses then
           (List.rev acc, skipped + List.length uncovered)
         else begin
-          let bottom = Bottom_clause.build ctx Bottom_clause.Variable seed in
+          let bottom =
+            Obs.span "learn.bottom_clause" (fun () ->
+                Bottom_clause.build ctx Bottom_clause.Variable seed)
+          in
           Log.info (fun m ->
               m "seed %s: bottom clause with %d literals"
                 (Tuple.to_string seed) (Clause.body_size bottom));
@@ -226,10 +242,10 @@ let learn ctx ~pos ~neg =
         m
           "incremental coverage: %d verdicts tested, %d inherited from \
            parents, %d cache hits, %d candidates pruned by score bound"
-          (Atomic.get cs.Context.tested)
-          (Atomic.get cs.Context.inherited)
-          (Atomic.get cs.Context.cache_hits)
-          (Atomic.get cs.Context.pruned))
+          (Obs.value cs.Context.tested)
+          (Obs.value cs.Context.inherited)
+          (Obs.value cs.Context.cache_hits)
+          (Obs.value cs.Context.pruned))
   end;
   if config.Config.subsumption_engine = `Csp then
     Dlearn_logic.Subsumption.log_stats ();

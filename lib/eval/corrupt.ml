@@ -1,23 +1,28 @@
+(* The index is drawn per branch: a swap needs i+1 to be a valid
+   position, so it draws from [0, n-2], while drop and duplicate may
+   touch any character including the last — drawing one shared index
+   from [0, n-2] would bias the corruption away from final characters. *)
 let typo rng s =
   let n = String.length s in
   if n < 2 then s
-  else begin
-    let b = Bytes.of_string s in
-    let i = Random.State.int rng (n - 1) in
+  else
     match Random.State.int rng 3 with
     | 0 ->
         (* swap adjacent characters *)
+        let i = Random.State.int rng (n - 1) in
+        let b = Bytes.of_string s in
         let c = Bytes.get b i in
         Bytes.set b i (Bytes.get b (i + 1));
         Bytes.set b (i + 1) c;
         Bytes.to_string b
     | 1 ->
         (* drop one character *)
+        let i = Random.State.int rng n in
         String.sub s 0 i ^ String.sub s (i + 1) (n - i - 1)
     | _ ->
         (* duplicate one character *)
+        let i = Random.State.int rng n in
         String.sub s 0 i ^ String.make 1 s.[i] ^ String.sub s i (n - i)
-  end
 
 let movie_title_variant rng ~title ~year =
   match Random.State.int rng 6 with

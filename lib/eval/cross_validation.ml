@@ -43,6 +43,7 @@ let folds ~k ~seed ~pos ~neg =
 
 let run ?pool ~k ~seed ~pos ~neg f =
   let fs = folds ~k ~seed ~pos ~neg in
+  let f fold = Dlearn_obs.Obs.span "cv.fold" (fun () -> f fold) in
   match pool with
   | None -> List.map f fs
   | Some pool -> Dlearn_parallel.Pool.map_list pool f fs

@@ -21,6 +21,24 @@ let evaluate ?(folds = 5) system (w : Workload.t) =
   let pool =
     Dlearn_parallel.Pool.get w.Workload.config.Config.num_domains
   in
+  (* When tracing, record the whole evaluation and write the trace after
+     the folds drain. Recording only appends to per-domain buffers; the
+     learner's decisions never read them, so results are identical with
+     tracing on and off. Back-to-back evaluates each overwrite [path] —
+     the last run wins, matching the one-run CLI flow. *)
+  let module Obs = Dlearn_obs.Obs in
+  let finish_trace =
+    match w.Workload.config.Config.trace with
+    | None -> fun () -> ()
+    | Some path ->
+        let was_recording = Obs.recording () in
+        if not was_recording then Obs.start_recording ();
+        fun () ->
+          Obs.write_trace path;
+          if not was_recording then Obs.stop_recording ();
+          Log.info (fun m -> m "wrote Chrome trace to %s" path);
+          Log.info (fun m -> m "@[<v>%a@]" Fmt.lines (Obs.report ()))
+  in
   let fold_results =
     Cross_validation.run ~pool ~k:folds ~seed:w.Workload.config.Config.seed
       ~pos:w.Workload.pos ~neg:w.Workload.neg (fun fold ->
@@ -59,6 +77,7 @@ let evaluate ?(folds = 5) system (w : Workload.t) =
       seconds;
     }
   in
+  finish_trace ();
   Log.app (fun m ->
       m "%s on %s: F1=%.2f (+/-%.2f) p=%.2f r=%.2f %.1fs/fold"
         (Baselines.name system) w.Workload.name r.f1 r.f1_std r.precision
@@ -77,6 +96,8 @@ let with_incremental w incremental =
 
 let with_subsumption w engine =
   with_config w (fun c -> { c with Config.subsumption_engine = engine })
+
+let with_trace w trace = with_config w (fun c -> { c with Config.trace })
 
 let with_sample_size w sample_size =
   with_config w (fun c -> { c with Config.sample_size })

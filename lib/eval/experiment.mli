@@ -40,6 +40,12 @@ val with_incremental : Workload.t -> bool -> Workload.t
 val with_subsumption :
   Workload.t -> Dlearn_logic.Subsumption.engine -> Workload.t
 
+(** [with_trace w (Some path)] makes {!evaluate} record the run and write
+    a Chrome trace-event JSON (Perfetto-loadable) to [path] when it
+    finishes; [None] disables tracing. Tracing never changes what is
+    learned — see docs/OBSERVABILITY.md. *)
+val with_trace : Workload.t -> string option -> Workload.t
+
 (** [with_sample_size w s] sets the per-relation literal cap. *)
 val with_sample_size : Workload.t -> int -> Workload.t
 

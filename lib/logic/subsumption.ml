@@ -1,6 +1,7 @@
 let src = Logs.Src.create "dlearn.subsumption"
 
 module Log = (val Logs.src_log src : Logs.LOG)
+module Obs = Dlearn_obs.Obs
 
 type outcome =
   | Subsumed of Substitution.t
@@ -385,16 +386,17 @@ let is_check = function
   | Literal.Rel _ | Literal.Sim _ | Literal.Repair _ -> false
 
 (* ------------------------------------------------------------------ *)
-(* Per-solve counters for the CSP kernel, aggregated process-wide so the
-   bench and the learner can report them across a domain pool.           *)
+(* Per-solve counters for the CSP kernel, aggregated process-wide on the
+   Obs registry so the bench and the learner can report them across a
+   domain pool (names under [subsumption.], see docs/OBSERVABILITY.md). *)
 
 module Stats = struct
-  let solves = Atomic.make 0
-  let nodes = Atomic.make 0
-  let propagations = Atomic.make 0
-  let wipeouts = Atomic.make 0
-  let setup_ns = Atomic.make 0
-  let search_ns = Atomic.make 0
+  let solves = Obs.counter "subsumption.solves"
+  let nodes = Obs.counter "subsumption.nodes"
+  let propagations = Obs.counter "subsumption.propagations"
+  let wipeouts = Obs.counter "subsumption.wipeouts"
+  let setup_ns = Obs.counter "subsumption.setup_ns"
+  let search_ns = Obs.counter "subsumption.search_ns"
 end
 
 type stats = {
@@ -408,17 +410,16 @@ type stats = {
 
 let stats () =
   {
-    solves = Atomic.get Stats.solves;
-    nodes = Atomic.get Stats.nodes;
-    propagations = Atomic.get Stats.propagations;
-    wipeouts = Atomic.get Stats.wipeouts;
-    setup_seconds = float_of_int (Atomic.get Stats.setup_ns) /. 1e9;
-    search_seconds = float_of_int (Atomic.get Stats.search_ns) /. 1e9;
+    solves = Obs.value Stats.solves;
+    nodes = Obs.value Stats.nodes;
+    propagations = Obs.value Stats.propagations;
+    wipeouts = Obs.value Stats.wipeouts;
+    setup_seconds = float_of_int (Obs.value Stats.setup_ns) /. 1e9;
+    search_seconds = float_of_int (Obs.value Stats.search_ns) /. 1e9;
   }
 
 let reset_stats () =
-  List.iter
-    (fun c -> Atomic.set c 0)
+  List.iter Obs.reset_counter
     [
       Stats.solves; Stats.nodes; Stats.propagations; Stats.wipeouts;
       Stats.setup_ns; Stats.search_ns;
@@ -523,12 +524,20 @@ let subsumes_target_csp ?(budget = 200_000) ?(repair_connectivity = true)
   let record outcome =
     let t2 = Unix.gettimeofday () in
     let ns dt = int_of_float (dt *. 1e9) in
-    ignore (Atomic.fetch_and_add Stats.solves 1);
-    ignore (Atomic.fetch_and_add Stats.nodes !nodes);
-    ignore (Atomic.fetch_and_add Stats.propagations !props);
-    ignore (Atomic.fetch_and_add Stats.wipeouts !wipes);
-    ignore (Atomic.fetch_and_add Stats.setup_ns (ns (!setup_end -. t0)));
-    ignore (Atomic.fetch_and_add Stats.search_ns (ns (t2 -. !setup_end)));
+    Obs.incr Stats.solves;
+    Obs.add Stats.nodes !nodes;
+    Obs.add Stats.propagations !props;
+    Obs.add Stats.wipeouts !wipes;
+    Obs.add Stats.setup_ns (ns (!setup_end -. t0));
+    Obs.add Stats.search_ns (ns (t2 -. !setup_end));
+    (* Per-solve spans would be too hot for the histogram path, but while
+       a trace is being recorded the solve's existing clock is worth an
+       event; solves are the leaves every other span decomposes into. *)
+    if Obs.recording () then
+      Obs.emit_event
+        ~args:[ ("nodes", string_of_int !nodes) ]
+        ~name:"subsumption.solve"
+        ~start_ns:(ns t0) ~dur_ns:(ns (t2 -. t0)) ();
     Log.debug (fun m ->
         m "csp solve: %d nodes, %d propagations, %d wipeouts, %.1fus setup, %.1fus search"
           !nodes !props !wipes

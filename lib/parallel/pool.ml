@@ -1,6 +1,7 @@
 let src = Logs.Src.create "dlearn.pool" ~doc:"Domain pool counters"
 
 module Log = (val Logs.src_log src : Logs.LOG)
+module Obs = Dlearn_obs.Obs
 
 (* One batch of chunks. [next] hands out chunk indexes, [completed] counts
    finished ones; the first exception wins the [failed] slot and is
@@ -24,10 +25,15 @@ type t = {
   mutable generation : int;
   mutable stopping : bool;
   submit_m : Mutex.t; (* serializes submitters *)
-  (* counters *)
-  mutable tasks : int;
-  chunks_run : int Atomic.t;
-  items_run : int Atomic.t;
+  (* Counters live on the Obs registry under [pool.<size>.*] — pools of
+     one size are process-wide singletons (see [get]), so the registry
+     name is the pool's identity. The busy array stays local: one slot
+     per participant, indexed by position, which the registry's
+     per-domain shards cannot represent. *)
+  tasks_c : Obs.counter;
+  chunks_c : Obs.counter;
+  items_c : Obs.counter;
+  participate_h : Obs.histogram;
   busy : float array; (* slot 0 = submitter, 1.. = workers *)
 }
 
@@ -58,7 +64,7 @@ let participate pool job slot =
        with e ->
          let bt = Printexc.get_raw_backtrace () in
          ignore (Atomic.compare_and_set job.failed None (Some (e, bt))));
-      Atomic.incr pool.chunks_run;
+      Obs.incr pool.chunks_c;
       let finished = 1 + Atomic.fetch_and_add job.completed 1 in
       if finished = job.num_chunks then begin
         Mutex.lock pool.done_m;
@@ -70,7 +76,16 @@ let participate pool job slot =
   in
   claim ();
   flag := previously;
-  pool.busy.(slot) <- pool.busy.(slot) +. (Unix.gettimeofday () -. t0)
+  let dt = Unix.gettimeofday () -. t0 in
+  pool.busy.(slot) <- pool.busy.(slot) +. dt;
+  let dt_ns = int_of_float (dt *. 1e9) in
+  Obs.observe_ns pool.participate_h dt_ns;
+  if Obs.recording () then
+    Obs.emit_event
+      ~args:[ ("slot", string_of_int slot) ]
+      ~name:"pool.participate"
+      ~start_ns:(int_of_float (t0 *. 1e9))
+      ~dur_ns:dt_ns ()
 
 let worker_loop pool slot =
   let seen = ref 0 in
@@ -104,9 +119,10 @@ let create ~num_domains =
       generation = 0;
       stopping = false;
       submit_m = Mutex.create ();
-      tasks = 0;
-      chunks_run = Atomic.make 0;
-      items_run = Atomic.make 0;
+      tasks_c = Obs.counter (Printf.sprintf "pool.%d.tasks" size);
+      chunks_c = Obs.counter (Printf.sprintf "pool.%d.chunks" size);
+      items_c = Obs.counter (Printf.sprintf "pool.%d.items" size);
+      participate_h = Obs.histogram (Printf.sprintf "pool.%d.participate" size);
       busy = Array.make size 0.0;
     }
   in
@@ -120,9 +136,9 @@ let num_domains pool = pool.size
 let stats pool =
   {
     domains = pool.size;
-    tasks = pool.tasks;
-    chunks = Atomic.get pool.chunks_run;
-    items = Atomic.get pool.items_run;
+    tasks = Obs.value pool.tasks_c;
+    chunks = Obs.value pool.chunks_c;
+    items = Obs.value pool.items_c;
     busy_seconds = Array.copy pool.busy;
   }
 
@@ -154,7 +170,7 @@ let shutdown pool =
    keeps concurrent submitters (and their jobs) strictly ordered. *)
 let run_job pool job =
   Mutex.lock pool.submit_m;
-  pool.tasks <- pool.tasks + 1;
+  Obs.incr pool.tasks_c;
   Mutex.lock pool.m;
   pool.job <- Some job;
   pool.generation <- pool.generation + 1;
@@ -191,7 +207,7 @@ let map pool f arr =
       for j = lo to hi - 1 do
         results.(j) <- Some (f arr.(j))
       done;
-      ignore (Atomic.fetch_and_add pool.items_run (hi - lo))
+      Obs.add pool.items_c (hi - lo)
     in
     run_job pool
       {
@@ -222,7 +238,7 @@ let filter_count pool p arr =
         if p arr.(j) then incr count
       done;
       ignore (Atomic.fetch_and_add total !count);
-      ignore (Atomic.fetch_and_add pool.items_run (hi - lo))
+      Obs.add pool.items_c (hi - lo)
     in
     run_job pool
       {
@@ -264,7 +280,7 @@ let fill pool ~n p =
       for byte = lo to hi - 1 do
         fill_byte byte
       done;
-      ignore (Atomic.fetch_and_add pool.items_run ((hi - lo) * 8))
+      Obs.add pool.items_c ((hi - lo) * 8)
     in
     run_job pool
       {

@@ -64,6 +64,15 @@ let load ?(delim = ',') schema path =
       try
         while true do
           let line = input_line ic in
+          (* CRLF files: [input_line] strips the \n but keeps the \r,
+             which would end up inside the last field's value. Unquoted
+             fields cannot contain \r (save quotes them), so stripping
+             one trailing \r before parsing is always safe. *)
+          let line =
+            let n = String.length line in
+            if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1)
+            else line
+          in
           incr line_no;
           if String.length line > 0 then begin
             let fields = parse_line ~delim line in

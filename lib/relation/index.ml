@@ -5,17 +5,32 @@ module H = Hashtbl.Make (struct
   let hash = Value.hash
 end)
 
-type t = int list ref H.t
+(* Ids accumulate newest-first in [rev_ids]; [fwd_ids] memoizes the
+   insertion-order view so a hot value's bucket is reversed once, not on
+   every lookup. Any insertion invalidates the memo. *)
+type bucket = { mutable rev_ids : int list; mutable fwd_ids : int list option }
+
+type t = bucket H.t
 
 let create () = H.create 64
 
 let add t v id =
   match H.find_opt t v with
-  | Some ids -> ids := id :: !ids
-  | None -> H.add t v (ref [ id ])
+  | Some b ->
+      b.rev_ids <- id :: b.rev_ids;
+      b.fwd_ids <- None
+  | None -> H.add t v { rev_ids = [ id ]; fwd_ids = None }
 
 let lookup t v =
-  match H.find_opt t v with Some ids -> List.rev !ids | None -> []
+  match H.find_opt t v with
+  | None -> []
+  | Some b -> (
+      match b.fwd_ids with
+      | Some ids -> ids
+      | None ->
+          let ids = List.rev b.rev_ids in
+          b.fwd_ids <- Some ids;
+          ids)
 
 let mem t v = H.mem t v
 

@@ -13,7 +13,10 @@ val create : unit -> t
     tuples — the paper's dirty-data setting relies on it). *)
 val add : t -> Value.t -> int -> unit
 
-(** [lookup t v] returns the ids of tuples holding [v], most recent last. *)
+(** [lookup t v] returns the ids of tuples holding [v] in insertion
+    order (most recent last). The ordered view is computed on the first
+    lookup after an insertion and memoized — repeated lookups of a hot
+    value allocate nothing. *)
 val lookup : t -> Value.t -> int list
 
 val mem : t -> Value.t -> bool

@@ -99,6 +99,21 @@ let corrupt_tests =
     Alcotest.test_case "typo keeps short strings" `Quick (fun () ->
         let rng = Random.State.make [| 5 |] in
         Alcotest.(check string) "single char" "x" (Corrupt.typo rng "x"));
+    Alcotest.test_case "typo can touch the final character" `Quick (fun () ->
+        (* The index is drawn per branch: drop must be able to remove the
+           last character ("ab" -> "a") and duplicate must be able to
+           double it ("ab" -> "abb"). With a shared [0, n-2] draw neither
+           outcome could ever occur. *)
+        let rng = Random.State.make [| 11 |] in
+        let dropped_last = ref false and doubled_last = ref false in
+        for _ = 1 to 500 do
+          match Corrupt.typo rng "ab" with
+          | "a" -> dropped_last := true
+          | "abb" -> doubled_last := true
+          | _ -> ()
+        done;
+        Alcotest.(check bool) "drop reaches last char" true !dropped_last;
+        Alcotest.(check bool) "duplicate reaches last char" true !doubled_last);
     Alcotest.test_case "title variants stay recognisable" `Quick (fun () ->
         let rng = Random.State.make [| 5 |] in
         for _ = 1 to 20 do

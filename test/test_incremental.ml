@@ -237,7 +237,7 @@ let degenerate_tests =
         let universe = Array.to_list examples in
         let first = Coverage.coverage_sets ctx prep ~pos:universe ~neg:universe in
         let tested =
-          Atomic.get ctx.Context.cover_stats.Context.tested
+          Dlearn_obs.Obs.value ctx.Context.cover_stats.Context.tested
         in
         (* Same clause re-prepared: every verdict must come from the
            cache, and the sets must be unchanged. *)
@@ -253,7 +253,7 @@ let degenerate_tests =
           (Bitset.equal (snd first) (snd second));
         Alcotest.(check int)
           "no new predicate runs" tested
-          (Atomic.get ctx.Context.cover_stats.Context.tested));
+          (Dlearn_obs.Obs.value ctx.Context.cover_stats.Context.tested));
   ]
 
 (* ------------------------------------------------------------------ *)

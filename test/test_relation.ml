@@ -202,6 +202,79 @@ let csv_tests =
               (fun _ t ->
                 Alcotest.(check bool) "tuple present" true (Relation.contains r' t))
               r));
+    Alcotest.test_case "load strips CRLF line endings" `Quick (fun () ->
+        (* A file written by a Windows tool: every record ends in \r\n.
+           The \r must not leak into the last column's value. *)
+        let schema = Schema.string_attrs "m" [ "id"; "title" ] in
+        let path = Filename.temp_file "dlearn_crlf" ".csv" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            let oc = open_out_bin path in
+            output_string oc "m1,Alien\r\nm2,\"Up, Down\"\r\n";
+            close_out oc;
+            let r = Csv.load schema path in
+            Alcotest.(check int) "two tuples" 2 (Relation.cardinality r);
+            Alcotest.(check bool)
+              "last column clean" true
+              (Relation.contains r (Tuple.of_strings [ "m1"; "Alien" ]));
+            Alcotest.(check bool)
+              "quoted field clean" true
+              (Relation.contains r (Tuple.of_strings [ "m2"; "Up, Down" ]))));
+    Alcotest.test_case "round trip survives CRLF rewriting" `Quick (fun () ->
+        (* save/load over a file whose LF terminators were rewritten to
+           CRLF in transit — including a field that itself contains \r,
+           which save quotes and load must preserve. *)
+        let schema = Schema.string_attrs "m" [ "id"; "note" ] in
+        let r = Relation.create schema in
+        ignore (Relation.insert r (Tuple.of_strings [ "m1"; "line\rfeed" ]));
+        ignore (Relation.insert r (Tuple.of_strings [ "m2"; "plain" ]));
+        let path = Filename.temp_file "dlearn_crlf_rt" ".csv" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            Csv.save r path;
+            let ic = open_in_bin path in
+            let contents = really_input_string ic (in_channel_length ic) in
+            close_in ic;
+            let crlf =
+              String.concat "\r\n" (String.split_on_char '\n' contents)
+            in
+            let oc = open_out_bin path in
+            output_string oc crlf;
+            close_out oc;
+            let r' = Csv.load schema path in
+            Alcotest.(check int) "same size" 2 (Relation.cardinality r');
+            Relation.iter
+              (fun _ t ->
+                Alcotest.(check bool) "tuple survives" true
+                  (Relation.contains r' t))
+              r));
+  ]
+
+let index_tests =
+  [
+    Alcotest.test_case "lookup returns insertion order" `Quick (fun () ->
+        let idx = Index.create () in
+        let v = Value.String "x" in
+        List.iter (Index.add idx v) [ 1; 2; 3 ];
+        Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (Index.lookup idx v);
+        (* The memoized view must stay physically stable across repeated
+           lookups and be invalidated by the next insertion. *)
+        Alcotest.(check bool)
+          "memoized" true
+          (Index.lookup idx v == Index.lookup idx v);
+        Index.add idx v 4;
+        Alcotest.(check (list int))
+          "order after insert" [ 1; 2; 3; 4 ] (Index.lookup idx v));
+    Alcotest.test_case "lookup keeps duplicates in order" `Quick (fun () ->
+        let idx = Index.create () in
+        let v = Value.Int 7 in
+        List.iter (Index.add idx v) [ 5; 5; 9 ];
+        Alcotest.(check (list int)) "duplicates" [ 5; 5; 9 ] (Index.lookup idx v));
+    Alcotest.test_case "lookup of absent value is empty" `Quick (fun () ->
+        let idx = Index.create () in
+        Alcotest.(check (list int)) "empty" [] (Index.lookup idx (Value.Int 0)));
   ]
 
 let text_table_tests =
@@ -354,6 +427,7 @@ let () =
       ("relation", relation_tests);
       ("database", database_tests);
       ("csv", csv_tests);
+      ("index", index_tests);
       ("text_table", text_table_tests);
       ("storage", storage_tests);
       ("stress", stress_tests);

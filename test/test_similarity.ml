@@ -52,6 +52,10 @@ let levenshtein_tests =
         Alcotest.(check int) "distance" 0 (Levenshtein.distance "same" "same"));
     Alcotest.test_case "similarity normalised" `Quick (fun () ->
         close "1 - 3/7" (1.0 -. (3.0 /. 7.0)) (Levenshtein.similarity "kitten" "sitting"));
+    Alcotest.test_case "sunday/saturday = 3" `Quick (fun () ->
+        Alcotest.(check int) "distance" 3 (Levenshtein.distance "sunday" "saturday"));
+    Alcotest.test_case "flaw/lawn = 2" `Quick (fun () ->
+        Alcotest.(check int) "distance" 2 (Levenshtein.distance "flaw" "lawn"));
   ]
 
 let jaro_tests =
@@ -64,6 +68,11 @@ let jaro_tests =
         close ~eps:1e-4 "jw" 0.8400 (Jaro_winkler.similarity "dwayne" "duane"));
     Alcotest.test_case "no common characters" `Quick (fun () ->
         close "0" 0.0 (Jaro_winkler.jaro "abc" "xyz"));
+    Alcotest.test_case "dixon/dicksonx" `Quick (fun () ->
+        (* The other classic Winkler pair: m=4, t=0 ->
+           (4/5 + 4/8 + 4/4)/3 = 0.7667; prefix "di" lifts it to 0.8133. *)
+        close ~eps:1e-4 "jaro" 0.7667 (Jaro_winkler.jaro "dixon" "dicksonx");
+        close ~eps:1e-4 "jw" 0.8133 (Jaro_winkler.similarity "dixon" "dicksonx"));
   ]
 
 let ngram_tests =
@@ -234,6 +243,11 @@ let qcheck_tests =
          (fun (a, b) ->
            Jaro_winkler.similarity a b >= Jaro_winkler.jaro a b -. 1e-9));
     QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"swg raw score is symmetric" ~count:300 pair_words
+         (fun (a, b) ->
+           Float.abs (Smith_waterman.raw_score a b -. Smith_waterman.raw_score b a)
+           < 1e-9));
+    QCheck_alcotest.to_alcotest
       (QCheck.Test.make ~name:"blocked query is a subset of brute force" ~count:100
          (QCheck.pair word (QCheck.list_of_size (QCheck.Gen.int_range 1 8) word))
          (fun (q, vs) ->
@@ -241,6 +255,29 @@ let qcheck_tests =
            let blocked = Sim_index.query idx ~km:10 ~threshold:0.5 q in
            let brute = Sim_index.query_brute idx ~km:10 ~threshold:0.5 q in
            List.for_all (fun (v, _) -> List.mem_assoc v brute) blocked));
+    (let nonempty_word =
+       QCheck.make
+         ~print:(fun s -> s)
+         QCheck.Gen.(string_size ~gen:(char_range 'a' 'e') (1 -- 10))
+     in
+     QCheck_alcotest.to_alcotest
+       (QCheck.Test.make
+          ~name:"blocked query equals brute force above threshold 0.9"
+          ~count:200
+          (QCheck.pair nonempty_word
+             (QCheck.list_of_size (QCheck.Gen.int_range 1 8) nonempty_word))
+          (fun (q, vs) ->
+            (* At 0.9 under the paper operator, any qualifying pair is so
+               close in edit structure that it must share a padded
+               trigram, so n-gram blocking loses nothing and the blocked
+               query is exactly the brute-force scan. (At lower
+               thresholds this fails: "ab" vs "ba" scores 0.75 yet
+               shares no padded trigram.) *)
+            let norm l = List.sort compare l in
+            let idx = Sim_index.create vs in
+            let blocked = Sim_index.query idx ~km:10 ~threshold:0.9 q in
+            let brute = Sim_index.query_brute idx ~km:10 ~threshold:0.9 q in
+            norm blocked = norm brute)));
   ]
 
 let () =
