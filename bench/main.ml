@@ -608,6 +608,240 @@ let bench_subsumption ~folds:_ ~n () =
   close_out oc;
   Printf.printf "wrote BENCH_subsumption.json\n\n"
 
+(* Clause normalization as the cover-cache key: replay the ARMG chain,
+   then rescore an alpha-renamed, body-reversed variant of every chain
+   element — the duplicate work a hill-climb generates when ARMG from
+   different seeds yields alpha-variant candidates. With normalization
+   off the variants recompute every verdict; with it on they collapse
+   onto the chain's cover-cache entries, so the cross-seed hit rate must
+   strictly improve. Also reports the learn.normalize span as a share of
+   replay wall-clock (budget: < 5%). Emits BENCH_normalize.json. *)
+let bench_normalize ~folds:_ ~n () =
+  let module Obs = Dlearn_obs.Obs in
+  let module Clause = Dlearn_logic.Clause in
+  let module Term = Dlearn_logic.Term in
+  Printf.printf "== Clause normalization: cover-cache hit rate off vs on ==\n";
+  let datasets =
+    [
+      ("imdb1", fun () -> Imdb_omdb.generate ?n `One_md);
+      ("imdb3", fun () -> Imdb_omdb.generate ?n `Three_mds);
+      ("walmart", fun () -> Walmart_amazon.generate ?n ());
+    ]
+  in
+  let results =
+    List.map
+      (fun (name, make) ->
+        let w = Experiment.with_km (make ()) 2 in
+        let pos = w.Workload.pos in
+        let neg =
+          List.filteri
+            (fun i _ -> i < w.Workload.config.Config.climb_neg_cap)
+            w.Workload.neg
+        in
+        let make_ctx ~normalize =
+          let config =
+            {
+              w.Workload.config with
+              Config.num_domains = 1;
+              incremental_coverage = true;
+              normalize_clauses = normalize;
+            }
+          in
+          let ctx =
+            Baselines.make_context Baselines.Dlearn config w.Workload.db
+              w.Workload.mds w.Workload.cfds
+          in
+          (* Warm the per-example ground caches — shared by both modes. *)
+          List.iter
+            (fun e ->
+              let entry = Bottom_clause.ground ctx e in
+              ignore (Coverage.ground_target ctx entry);
+              ignore (Coverage.ground_repair_targets ctx entry);
+              ignore (Coverage.prefilter_target ctx entry))
+            (pos @ neg);
+          ctx
+        in
+        (* One monotone ARMG chain, built once and replayed in both
+           modes. *)
+        let chain =
+          let ctx = make_ctx ~normalize:false in
+          let seed = List.hd pos in
+          let bottom = Bottom_clause.build ctx Bottom_clause.Variable seed in
+          let rec grow clause acc = function
+            | [] -> List.rev acc
+            | e :: rest -> (
+                if List.length acc > 6 then List.rev acc
+                else
+                  match Generalization.armg ctx clause e with
+                  | Some c when not (Clause.equal c clause) ->
+                      grow c (c :: acc) rest
+                  | _ -> grow clause acc rest)
+          in
+          grow bottom [ bottom ] (List.tl pos)
+        in
+        (* Alpha-renamed, body-reversed variants: semantically identical
+           clauses with different surface syntax, as produced by ARMG
+           chains that start from a different seed example. *)
+        let variants =
+          List.map
+            (fun c ->
+              let renamed =
+                Clause.map_terms
+                  (function
+                    | Term.Var v -> Term.var ("q_" ^ v) | t -> t)
+                  c
+              in
+              Clause.make ~head:renamed.Clause.head
+                (List.rev renamed.Clause.body))
+            chain
+        in
+        let replay normalize =
+          let ctx = make_ctx ~normalize in
+          let tested = ctx.Context.cover_stats.Context.tested in
+          let hits = ctx.Context.cover_stats.Context.cache_hits in
+          let norm_hist = Obs.histogram "learn.normalize" in
+          let tested0 = Obs.value tested and hits0 = Obs.value hits in
+          let norm0 = (Obs.histogram_snapshot norm_hist).Obs.total_ns in
+          let t0 = Unix.gettimeofday () in
+          List.iter
+            (fun clause ->
+              let prep = Coverage.prepare ctx clause in
+              ignore (Coverage.coverage ctx prep ~pos ~neg))
+            (chain @ variants);
+          let dt = Unix.gettimeofday () -. t0 in
+          let d_tested = Obs.value tested - tested0 in
+          let d_hits = Obs.value hits - hits0 in
+          let norm_s =
+            float_of_int
+              ((Obs.histogram_snapshot norm_hist).Obs.total_ns - norm0)
+            /. 1e9
+          in
+          let hit_rate =
+            if d_tested + d_hits = 0 then 0.
+            else float_of_int d_hits /. float_of_int (d_tested + d_hits)
+          in
+          (dt, d_tested, d_hits, hit_rate, norm_s)
+        in
+        let t_off, tested_off, hits_off, rate_off, _ = replay false in
+        let t_on, tested_on, hits_on, rate_on, norm_s = replay true in
+        (* The < 5% budget is against learn wall-clock, not the warm
+           replay above — run one real learn and compare the
+           learn.normalize span to the enclosing learn span. *)
+        let learn_norm_s, learn_s =
+          (* A cold context: real learns pay grounding and bottom-clause
+             construction too, so the share is measured against the full
+             pipeline, not the warm replay above. *)
+          let config =
+            {
+              w.Workload.config with
+              Config.num_domains = 1;
+              incremental_coverage = true;
+              normalize_clauses = true;
+            }
+          in
+          let ctx =
+            Baselines.make_context Baselines.Dlearn config w.Workload.db
+              w.Workload.mds w.Workload.cfds
+          in
+          let norm_hist = Obs.histogram "learn.normalize" in
+          let learn_hist = Obs.histogram "learn" in
+          let n0 = (Obs.histogram_snapshot norm_hist).Obs.total_ns in
+          let l0 = (Obs.histogram_snapshot learn_hist).Obs.total_ns in
+          ignore (Learner.learn ctx ~pos ~neg);
+          ( float_of_int
+              ((Obs.histogram_snapshot norm_hist).Obs.total_ns - n0)
+            /. 1e9,
+            float_of_int
+              ((Obs.histogram_snapshot learn_hist).Obs.total_ns - l0)
+            /. 1e9 )
+        in
+        Printf.printf
+          "%s: off %d tested / %d hits (%.1f%%) — on %d tested / %d hits \
+           (%.1f%%), normalize %.4fs of %.3fs replay, %.4fs of %.3fs learn\n%!"
+          name tested_off hits_off (100. *. rate_off) tested_on hits_on
+          (100. *. rate_on) norm_s t_on learn_norm_s learn_s;
+        ( name,
+          List.length chain,
+          t_off,
+          t_on,
+          tested_off,
+          hits_off,
+          rate_off,
+          tested_on,
+          hits_on,
+          rate_on,
+          norm_s,
+          learn_norm_s,
+          learn_s ))
+      datasets
+  in
+  Text_table.print
+    ~header:
+      [
+        "dataset";
+        "chain";
+        "off time";
+        "on time";
+        "hit-rate off";
+        "hit-rate on";
+        "learn share";
+      ]
+    (List.map
+       (fun (name, chain, t_off, t_on, _, _, r_off, _, _, r_on, _, ln, l) ->
+         [
+           name;
+           string_of_int chain;
+           Printf.sprintf "%.3fs" t_off;
+           Printf.sprintf "%.3fs" t_on;
+           Printf.sprintf "%.1f%%" (100. *. r_off);
+           Printf.sprintf "%.1f%%" (100. *. r_on);
+           Printf.sprintf "%.2f%%" (100. *. ln /. l);
+         ])
+       results);
+  print_newline ();
+  List.iter
+    (fun (name, _, _, _, _, _, r_off, _, _, r_on, _, _, _) ->
+      if name <> "imdb1" && r_on <= r_off then
+        Printf.printf
+          "WARNING: %s hit rate did not improve (off %.3f, on %.3f)\n" name
+          r_off r_on)
+    results;
+  let oc = open_out "BENCH_normalize.json" in
+  let n_str = match n with Some v -> string_of_int v | None -> "null" in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"normalize\",\n  \"n\": %s,\n  \"datasets\": [\n" n_str;
+  List.iteri
+    (fun i
+         ( name,
+           chain,
+           t_off,
+           t_on,
+           tested_off,
+           hits_off,
+           rate_off,
+           tested_on,
+           hits_on,
+           rate_on,
+           norm_s,
+           learn_norm_s,
+           learn_s ) ->
+      Printf.fprintf oc
+        "    {\"dataset\": \"%s\", \"chain_length\": %d,\n\
+        \     \"off\": {\"seconds\": %.6f, \"tested\": %d, \"cache_hits\": \
+         %d, \"hit_rate\": %.4f},\n\
+        \     \"on\": {\"seconds\": %.6f, \"tested\": %d, \"cache_hits\": \
+         %d, \"hit_rate\": %.4f},\n\
+        \     \"replay_normalize_s\": %.6f, \"learn_normalize_s\": %.6f,\n\
+        \     \"learn_s\": %.6f, \"learn_normalize_share\": %.4f}%s\n"
+        name chain t_off tested_off hits_off rate_off t_on tested_on hits_on
+        rate_on norm_s learn_norm_s learn_s
+        (learn_norm_s /. learn_s)
+        (if i = List.length results - 1 then "" else ","))
+    results;
+  Printf.fprintf oc "  ]%s}\n" (obs_field ());
+  close_out oc;
+  Printf.printf "wrote BENCH_normalize.json\n\n"
+
 (* ------------------------------------------------------------------ *)
 
 let all_benches =
@@ -625,6 +859,7 @@ let all_benches =
     ("parallel", bench_parallel);
     ("coverage", bench_coverage);
     ("subsumption", bench_subsumption);
+    ("normalize", bench_normalize);
   ]
 
 let usage ?(code = 1) () =

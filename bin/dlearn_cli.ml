@@ -74,6 +74,16 @@ let no_incremental_arg =
   in
   Arg.(value & flag & info [ "no-incremental" ] ~doc)
 
+let no_normalize_arg =
+  let doc =
+    "Disable the clause-normalization pipeline and score raw ARMG \
+     candidates (the cover cache then keys on the sort-only canonical \
+     form, so alpha-variant candidates miss it). Both settings learn the \
+     identical definition; also settable via DLEARN_NORMALIZE=0 — see \
+     docs/NORMALIZATION.md."
+  in
+  Arg.(value & flag & info [ "no-normalize" ] ~doc)
+
 let subsumption_engine_arg =
   let doc =
     "Theta-subsumption search engine: $(b,csp) (forward-checking kernel, \
@@ -139,14 +149,15 @@ let learn_cmd =
     let doc = "Cross-validation folds." in
     Arg.(value & opt int 5 & info [ "folds" ] ~docv:"K" ~doc)
   in
-  let run dataset system n km depth p folds jobs no_incremental engine trace
-      report verbose =
+  let run dataset system n km depth p folds jobs no_incremental no_normalize
+      engine trace report verbose =
     setup_logs verbose;
     let w = apply_overrides (make_dataset ?n dataset) km depth p in
     let w = match jobs with Some j -> Experiment.with_jobs w j | None -> w in
     let w =
       if no_incremental then Experiment.with_incremental w false else w
     in
+    let w = if no_normalize then Experiment.with_normalize w false else w in
     let w =
       match engine with
       | Some e -> Experiment.with_subsumption w e
@@ -167,8 +178,8 @@ let learn_cmd =
     (Cmd.info "learn" ~doc:"Cross-validate a system on a workload.")
     Term.(
       const run $ dataset_arg $ system_arg $ n_arg $ km_arg $ depth_arg $ p_arg
-      $ folds_arg $ jobs_arg $ no_incremental_arg $ subsumption_engine_arg
-      $ trace_arg $ report_arg $ verbose_arg)
+      $ folds_arg $ jobs_arg $ no_incremental_arg $ no_normalize_arg
+      $ subsumption_engine_arg $ trace_arg $ report_arg $ verbose_arg)
 
 (* dlearn show *)
 let show_cmd =

@@ -97,9 +97,43 @@ let trivial_restrictions clause =
       | _ -> None)
     clause.Clause.body
 
+(* DL401–DL403: what the Clause_norm simplification pipeline would
+   rewrite. Emitted from the pipeline's own pass implementations
+   ([Clause_norm.plan]), so lint and rewrite can never disagree: a
+   diagnostic fires exactly when normalization would fire. Duplicates are
+   skipped — DL104 above already reports them (and the pipeline's
+   duplicate pass agrees with it by construction: both match with
+   [Literal.equal]). *)
+let simplifiable clause =
+  let subject = subject_of clause in
+  List.filter_map
+    (fun rw ->
+      let witness = Clause_norm.rewrite_to_string rw in
+      match rw with
+      | Clause_norm.Drop_duplicate _ -> None
+      | Clause_norm.Drop_tautology _ | Clause_norm.Drop_cond_atom _ ->
+          Some
+            (Diagnostic.warning ~code:"DL401" ~subject ~witness
+               "literal is trivially satisfied under the clause \
+                environment; normalization drops it")
+      | Clause_norm.Contradiction _ ->
+          Some
+            (Diagnostic.error ~code:"DL402" ~subject ~witness
+               "literal can never be satisfied; normalization rewrites \
+                the clause to its trivially-false form (it covers \
+                nothing)")
+      | Clause_norm.Condense _ ->
+          Some
+            (Diagnostic.warning ~code:"DL403" ~subject ~witness
+               "alpha-redundant body literal: a substitution of its \
+                local variables maps it onto another literal; \
+                normalization drops it"))
+    (Clause_norm.plan clause)
+
 let check clause =
   unsafe_head_vars clause
   @ disconnected_literals clause
   @ singleton_vars clause
   @ duplicate_literals clause
   @ trivial_restrictions clause
+  @ simplifiable clause

@@ -18,6 +18,21 @@
       equality of two distinct constants) — the clause can cover nothing.
 
     Repair literals are ignored by these lints (they are machine-built and
-    validated by construction). *)
+    validated by construction).
+
+    The DL4xx group reports what the clause-normalization pipeline would
+    rewrite; the diagnostics are produced from
+    {!Dlearn_logic.Clause_norm.plan} — the pipeline's own pass
+    implementations — so lint and rewrite cannot disagree:
+
+    - [DL401] (warning): trivially-satisfied literal or repair-condition
+      atom the pipeline would drop. Narrower than DL105, which flags every
+      syntactic tautology: DL401 only fires where the subsumption engines
+      make the verdict static (e.g. [x ~ x] over a variable no schema atom
+      binds is DL105 but not DL401).
+    - [DL402] (error): unsatisfiable literal — normalization rewrites the
+      clause to its shared trivially-false form.
+    - [DL403] (warning): alpha-redundant (self-subsumed) body literal —
+      condensation would drop it; the witness names both literals. *)
 
 val check : Dlearn_logic.Clause.t -> Diagnostic.t list

@@ -20,6 +20,7 @@ type t = {
   allow_dirty_constraints : bool;
   num_domains : int;
   incremental_coverage : bool;
+  normalize_clauses : bool;
   subsumption_engine : Dlearn_logic.Subsumption.engine;
   parallel_min_batch : int;
   trace : string option;
@@ -42,6 +43,18 @@ let default_num_domains () =
    on. CI runs the suites both ways. *)
 let default_incremental () =
   match Sys.getenv_opt "DLEARN_INCREMENTAL" with
+  | Some s -> (
+      match String.lowercase_ascii (String.trim s) with
+      | "0" | "false" | "off" | "no" -> false
+      | _ -> true)
+  | None -> true
+
+(* DLEARN_NORMALIZE=0 (or false/off/no) scores raw ARMG candidates and
+   keys the cover cache on the sort-only [Clause.canonical]; anything
+   else — including unset — runs the Clause_norm pipeline. CI runs the
+   suites both ways. *)
+let default_normalize () =
+  match Sys.getenv_opt "DLEARN_NORMALIZE" with
   | Some s -> (
       match String.lowercase_ascii (String.trim s) with
       | "0" | "false" | "off" | "no" -> false
@@ -79,6 +92,7 @@ let default ~target =
     allow_dirty_constraints = false;
     num_domains = default_num_domains ();
     incremental_coverage = default_incremental ();
+    normalize_clauses = default_normalize ();
     subsumption_engine = Dlearn_logic.Subsumption.default_engine ();
     parallel_min_batch = 16;
     trace = default_trace ();

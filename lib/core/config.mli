@@ -54,6 +54,14 @@ type t = {
           by score bound, and cache per-clause verdict bitsets across
           seeds; [false] selects the from-scratch path. Both paths learn
           the identical definition — see docs/COVERAGE.md *)
+  normalize_clauses : bool;
+      (** run every ARMG candidate through the [Clause_norm] pipeline
+          before scoring and key the cover cache on the normalized form
+          (alpha-variants and trivially-redundant variants share one
+          entry); the ground targets fed to [Subsumption.prepare] are
+          duplicate-stripped. [false] keys on the sort-only
+          [Clause.canonical]. Both settings learn the identical
+          definition — see docs/NORMALIZATION.md *)
   subsumption_engine : Dlearn_logic.Subsumption.engine;
       (** θ-subsumption search engine used by coverage testing: [`Csp]
           (default) is the forward-checking kernel, [`Backtrack] the
@@ -75,7 +83,9 @@ type t = {
     [Domain.recommended_domain_count ()], overridable through the
     [DLEARN_NUM_DOMAINS] environment variable; [incremental_coverage]
     defaults to [true], overridable through [DLEARN_INCREMENTAL]
-    ([0]/[false]/[off]/[no] disable it); [subsumption_engine] defaults to
+    ([0]/[false]/[off]/[no] disable it); [normalize_clauses] defaults to
+    [true], overridable through [DLEARN_NORMALIZE] (same spellings
+    disable it); [subsumption_engine] defaults to
     [`Csp], overridable through [DLEARN_SUBSUMPTION] ([backtrack]/[bt]/
     [0]/[off] select the backtracking engine); [parallel_min_batch]
     defaults to 16; [trace] defaults to the [DLEARN_TRACE] path when that

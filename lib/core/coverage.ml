@@ -49,6 +49,11 @@ let skeleton_of (clause : Clause.t) =
 
 let prepare ctx clause =
   let state_cap, result_cap = caps ctx in
+  let normalize = ctx.Context.config.Config.normalize_clauses in
+  let clause =
+    if normalize then Obs.span "learn.normalize" (fun () -> Clause_norm.normalize clause)
+    else clause
+  in
   {
     clause;
     cfd_apps =
@@ -58,7 +63,12 @@ let prepare ctx clause =
       Memo.make (fun () ->
           Clause_repair.repaired_clauses ~state_cap ~result_cap clause);
     skeleton = Memo.make (fun () -> skeleton_of clause);
-    canon = Memo.make (fun () -> Clause.canonical clause);
+    canon =
+      (* [normalize] is idempotent, so the normalized clause is its own
+         canonical form — the cross-seed cache key that merges
+         alpha-variants. Off: the sort-only key, as before. *)
+      (if normalize then Memo.make (fun () -> clause)
+       else Memo.make (fun () -> Clause.canonical clause));
   }
 
 let has_cfd_repairs (c : Clause.t) =
@@ -88,12 +98,20 @@ let ground_cfd_apps ctx (entry : Context.ground_entry) =
           entry.Context.cfd_apps <- Some apps;
           apps)
 
-let ground_target (_ctx : Context.t) (entry : Context.ground_entry) =
+(* Target-side normalization: ground bottom clauses only admit exact
+   duplicate removal (their restriction literals are closure data, see
+   Clause_norm.dedup_target); it shrinks the candidate tables
+   Subsumption.prepare builds. *)
+let target_side (ctx : Context.t) c =
+  if ctx.Context.config.Config.normalize_clauses then Clause_norm.dedup_target c
+  else c
+
+let ground_target (ctx : Context.t) (entry : Context.ground_entry) =
   Mutex.protect entry.Context.lock (fun () ->
       match entry.Context.target with
       | Some t -> t
       | None ->
-          let t = Subsumption.prepare entry.Context.ground in
+          let t = Subsumption.prepare (target_side ctx entry.Context.ground) in
           entry.Context.target <- Some t;
           t)
 
@@ -124,7 +142,9 @@ let ground_repair_targets ctx (entry : Context.ground_entry) =
       | Some ts -> ts
       | None ->
           let ts =
-            List.map Subsumption.prepare (ground_repairs_unlocked ctx entry)
+            List.map
+              (fun r -> Subsumption.prepare (target_side ctx r))
+              (ground_repairs_unlocked ctx entry)
           in
           entry.Context.repair_targets <- Some ts;
           ts)
@@ -132,7 +152,7 @@ let ground_repair_targets ctx (entry : Context.ground_entry) =
 (* Ge's relational part, with equality literals unioning every pair of
    terms some repair group might make identical — the over-approximation
    of all possible merges that the skeleton is matched against. *)
-let prefilter_target (_ctx : Context.t) (entry : Context.ground_entry) =
+let prefilter_target (ctx : Context.t) (entry : Context.ground_entry) =
   Mutex.protect entry.Context.lock (fun () ->
       match entry.Context.prefilter_target with
       | Some t -> t
@@ -149,7 +169,7 @@ let prefilter_target (_ctx : Context.t) (entry : Context.ground_entry) =
           let target_clause =
             Clause.make ~head:ge.Clause.head (Clause.rel_body ge @ merge_eqs)
           in
-          let t = Subsumption.prepare target_clause in
+          let t = Subsumption.prepare (target_side ctx target_clause) in
           entry.Context.prefilter_target <- Some t;
           t)
 

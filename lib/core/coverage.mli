@@ -33,12 +33,19 @@ type prepared = {
           its potential merges as a necessary condition before any repair
           enumeration runs *)
   canon : Dlearn_logic.Clause.t Dlearn_parallel.Memo.t;
-      (** [Clause.canonical clause] — the key of the cross-seed cover
-          cache *)
+      (** the key of the cross-seed cover cache: the [clause] field itself
+          when [Config.normalize_clauses] is on (normalization is
+          idempotent, so the normalized clause is its own canonical form
+          and all alpha-variants share one entry), [Clause.canonical
+          clause] otherwise *)
 }
 
 (** [prepare ctx c] wraps [c] with memoized repair enumerations so that
-    scoring over many examples shares them; the memos are domain-safe. *)
+    scoring over many examples shares them; the memos are domain-safe.
+    With [Config.normalize_clauses] on, [c] is first rewritten by
+    {!Dlearn_logic.Clause_norm.normalize} (timed under the
+    [learn.normalize] span) — normalization preserves coverage, so every
+    verdict computed from the record is a verdict about [c]. *)
 val prepare : Context.t -> Dlearn_logic.Clause.t -> prepared
 
 val covers_positive : Context.t -> prepared -> Dlearn_relation.Tuple.t -> bool

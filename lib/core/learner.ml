@@ -61,18 +61,27 @@ let refine ctx ~uncovered ~neg clause =
             |> List.filter (fun c -> not (Clause.equal c clause)))
       in
       (* Distinct sampled positives often yield the same generalisation;
-         score each candidate once — dedup on the canonical form, computed
-         once per candidate. *)
+         score each candidate once — dedup on the prepared record's
+         memoized canonical form instead of recomputing it. With
+         normalization on the key is the normalized clause, so whole
+         alpha-classes merge into one solve; the retained representative
+         is the member the full sort below would rank first (smallest
+         body, then arrival), carrying its own arrival index, so the
+         climb picks the same winner whether or not its class mates were
+         scored. *)
       let dedup = Cover_set.Clause_tbl.create 16 in
-      List.filter
-        (fun c ->
-          let key = Clause.canonical c in
-          if Cover_set.Clause_tbl.mem dedup key then false
-          else begin
-            Cover_set.Clause_tbl.add dedup key ();
-            true
-          end)
-        raw
+      List.iteri
+        (fun idx c ->
+          let prep = Coverage.prepare ctx c in
+          let key = Dlearn_parallel.Memo.force prep.Coverage.canon in
+          match Cover_set.Clause_tbl.find_opt dedup key with
+          | None -> Cover_set.Clause_tbl.add dedup key (c, prep, idx)
+          | Some (c0, _, _) ->
+              if Clause.body_size c < Clause.body_size c0 then
+                Cover_set.Clause_tbl.replace dedup key (c, prep, idx))
+        raw;
+      Cover_set.Clause_tbl.fold (fun _ cand acc -> cand :: acc) dedup []
+      |> List.sort (fun (_, _, i1) (_, _, i2) -> Int.compare i1 i2)
     in
     (* Candidates are scored across the domain pool; a worker's nested
        coverage fan-out runs sequentially in place, so the parallelism is
@@ -84,31 +93,36 @@ let refine ctx ~uncovered ~neg clause =
         ~args:[ ("candidates", string_of_int (List.length candidates)) ]
         (fun () ->
           Dlearn_parallel.Pool.map_list (Context.pool ctx)
-            (fun c ->
-              let prep = Coverage.prepare ctx c in
+            (fun (c, prep, idx) ->
               if incremental then
                 let cp, cn, cov, _complete =
                   Coverage.score_candidate ctx prep ~assume:parent_cov
                     ~pos:uncovered ~neg ~bound
                 in
-                (c, prep, cov, (cp, cn))
+                (c, prep, idx, cov, (cp, cn))
               else
                 let cov = Coverage.coverage ctx prep ~pos:uncovered ~neg in
-                (c, prep, Coverage.Bitset.empty, cov))
+                (c, prep, idx, Coverage.Bitset.empty, cov))
             candidates)
     in
     (* Higher score first; on ties the smaller clause — the more general
        one — so the climb keeps shedding redundant literals even when the
-       training score has saturated. *)
+       training score has saturated. Last tie-break: ARMG arrival order,
+       i.e. the order the pre-dedup stable sort used. *)
     match
       List.stable_sort
-        (fun (c1, _, _, (p1, n1)) (c2, _, _, (p2, n2)) ->
+        (fun (c1, _, i1, _, (p1, n1)) (c2, _, i2, _, (p2, n2)) ->
           match Int.compare (p2 - n2) (p1 - n1) with
-          | 0 -> Int.compare (Clause.body_size c1) (Clause.body_size c2)
+          | 0 -> (
+              match
+                Int.compare (Clause.body_size c1) (Clause.body_size c2)
+              with
+              | 0 -> Int.compare i1 i2
+              | c -> c)
           | c -> c)
         scored
     with
-    | (best, best_prep, best_cov, (bp, bn)) :: _
+    | (best, best_prep, _, best_cov, (bp, bn)) :: _
       when bp - bn > score
            || (bp - bn = score && Clause.body_size best < Clause.body_size clause)
       ->

@@ -97,6 +97,9 @@ let with_incremental w incremental =
 let with_subsumption w engine =
   with_config w (fun c -> { c with Config.subsumption_engine = engine })
 
+let with_normalize w normalize =
+  with_config w (fun c -> { c with Config.normalize_clauses = normalize })
+
 let with_trace w trace = with_config w (fun c -> { c with Config.trace })
 
 let with_sample_size w sample_size =

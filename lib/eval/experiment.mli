@@ -40,6 +40,11 @@ val with_incremental : Workload.t -> bool -> Workload.t
 val with_subsumption :
   Workload.t -> Dlearn_logic.Subsumption.engine -> Workload.t
 
+(** [with_normalize w b] enables/disables the clause-normalization
+    pipeline ([Config.normalize_clauses]); both settings learn the
+    identical definition — see docs/NORMALIZATION.md. *)
+val with_normalize : Workload.t -> bool -> Workload.t
+
 (** [with_trace w (Some path)] makes {!evaluate} record the run and write
     a Chrome trace-event JSON (Perfetto-loadable) to [path] when it
     finishes; [None] disables tracing. Tracing never changes what is

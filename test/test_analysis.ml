@@ -134,6 +134,97 @@ let clause_tests =
         check_lacks "DL106" (lint good));
   ]
 
+let simplifiable_tests =
+  let base = rel "movies" [ v "x"; v "t"; v "z" ] in
+  let head = rel "h" [ v "x" ] in
+  [
+    Alcotest.test_case "DL401 flags literals normalization would drop" `Quick
+      (fun () ->
+        let bad =
+          Clause.make ~head [ base; Literal.Eq (v "x", v "x") ]
+        in
+        check_has "DL401" (lint bad);
+        check_lacks "DL401" (lint (Clause.make ~head [ base ])));
+    Alcotest.test_case "DL401 is narrower than DL105 on unbound ~ vars" `Quick
+      (fun () ->
+        (* u is bound by no schema atom: the engines can only satisfy
+           u ~ u through an explicit target similarity edge, so the
+           pipeline keeps the literal — and the lint must agree — while
+           the syntactic DL105 still flags it. *)
+        let unbound = Clause.make ~head [ base; Literal.Sim (v "u", v "u") ] in
+        check_has "DL105" (lint unbound);
+        check_lacks "DL401" (lint unbound);
+        let bound = Clause.make ~head [ base; Literal.Sim (v "t", v "t") ] in
+        check_has "DL401" (lint bound));
+    Alcotest.test_case "DL401 flags trivially-true repair condition atoms"
+      `Quick (fun () ->
+        let repair =
+          Literal.Repair
+            {
+              Literal.origin = Literal.From_md "m";
+              group = 0;
+              cond = [ Cond.Ceq (v "t", v "t"); Cond.Cneq (v "t", v "z") ];
+              subject = v "t";
+              replacement = v "r";
+              drops = [];
+            }
+        in
+        check_has "DL401" (lint (Clause.make ~head [ base; repair ])));
+    Alcotest.test_case "DL402 flags clauses normalization sends to falsum"
+      `Quick (fun () ->
+        let bad = Clause.make ~head [ base; Literal.Neq (v "x", v "x") ] in
+        let ds = lint bad in
+        check_has "DL402" ds;
+        Alcotest.(check bool) "DL402 is an error" true
+          (List.exists
+             (fun d ->
+               d.Diagnostic.code = "DL402"
+               && d.Diagnostic.severity = Diagnostic.Error)
+             ds);
+        (* Distinct-constant equality: DL106 flags it syntactically, but
+           the closure can merge constants, so the pipeline keeps it and
+           DL402 stays silent. *)
+        let const_eq = Clause.make ~head [ base; Literal.Eq (s "a", s "b") ] in
+        check_has "DL106" (lint const_eq);
+        check_lacks "DL402" (lint const_eq));
+    Alcotest.test_case "DL403 flags alpha-redundant body literals" `Quick
+      (fun () ->
+        let bad =
+          Clause.make ~head [ base; rel "movies" [ v "x"; v "a"; v "b" ] ]
+        in
+        check_has "DL403" (lint bad);
+        (* Every variable shared: nothing is strictly local, no drop. *)
+        let good = Clause.make ~head [ base; rel "ratings" [ v "t"; v "z" ] ] in
+        check_lacks "DL403" (lint good));
+    Alcotest.test_case "DL4xx respects repair drops protection" `Quick
+      (fun () ->
+        (* The Eq literal is recorded in a repair's drops list: rewriting
+           it would change what the repair deletes, so the pipeline keeps
+           it and no DL401 fires. *)
+        let eq = Literal.Eq (v "t", v "t") in
+        let repair =
+          Literal.Repair
+            {
+              Literal.origin = Literal.From_cfd "c";
+              group = 0;
+              cond = [];
+              subject = v "t";
+              replacement = v "r";
+              drops = [ eq ];
+            }
+        in
+        let protected_c = Clause.make ~head [ base; repair; eq ] in
+        check_lacks "DL401" (lint protected_c);
+        let unprotected_c =
+          Clause.make ~head
+            [ base; Literal.Repair
+                (match repair with
+                | Literal.Repair r -> { r with Literal.drops = [] }
+                | _ -> assert false); eq ]
+        in
+        check_has "DL401" (lint unprotected_c));
+  ]
+
 let schema_tests =
   [
     Alcotest.test_case "DL201 flags unknown predicates" `Quick (fun () ->
@@ -502,6 +593,7 @@ let () =
   Alcotest.run "analysis"
     [
       ("clause lints", clause_tests);
+      ("simplifiable clauses", simplifiable_tests);
       ("schema typecheck", schema_tests);
       ("cfd analysis", cfd_tests);
       ("md analysis", md_tests);

@@ -1,0 +1,515 @@
+(* The clause-normalization suite (docs/NORMALIZATION.md).
+
+   Clause_norm promises three things: the normalized form is a canonical
+   representative (alpha-renaming and body reordering wash out), the
+   pipeline is idempotent, and normalization preserves coverage — so the
+   learner may swap normalized clauses for raw ones without changing any
+   decision. This suite pins all three: unit tests per pass (including
+   the engine-soundness guards), QCheck invariance/idempotence over
+   random clauses, a coverage-preservation differential over realistic
+   bottom/ARMG clauses, and a 500-case learn differential with
+   [Config.normalize_clauses] on vs off that also accounts solve work —
+   normalization must never test more coverage verdicts than the raw
+   path, and alpha-variant rescoring must hit the cache outright. *)
+
+open Dlearn_relation
+open Dlearn_constraints
+open Dlearn_logic
+open Dlearn_core
+module Obs = Dlearn_obs.Obs
+
+let v = Term.var
+let s = Term.str
+let rel = Literal.rel
+
+let clause_eq = Alcotest.testable Clause.pp Clause.equal
+
+(* ------------------------------------------------------------------ *)
+(* Pass unit tests                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let head = rel "h" [ v "x" ]
+let base = rel "p" [ v "x"; v "t" ]
+
+let norm c = Clause_norm.normalize c
+
+let unit_tests =
+  [
+    Alcotest.test_case "x = x is dropped" `Quick (fun () ->
+        Alcotest.check clause_eq "same form"
+          (norm (Clause.make ~head [ base ]))
+          (norm (Clause.make ~head [ base; Literal.Eq (v "t", v "t") ])));
+    Alcotest.test_case "x ~ x drops only when generatively bound" `Quick
+      (fun () ->
+        (* t is a schema-atom argument: the engines bind it, reflexivity
+           applies, the literal goes. *)
+        Alcotest.check clause_eq "bound: dropped"
+          (norm (Clause.make ~head [ base ]))
+          (norm (Clause.make ~head [ base; Literal.Sim (v "t", v "t") ]));
+        (* u is bound by nothing: u ~ u must match an explicit target
+           similarity edge, so it stays. *)
+        let kept = norm (Clause.make ~head [ base; Literal.Sim (v "u", v "u") ]) in
+        Alcotest.(check int) "unbound: kept" 2 (Clause.body_size kept);
+        (* constants are ground from the start *)
+        Alcotest.check clause_eq "const: dropped"
+          (norm (Clause.make ~head [ base ]))
+          (norm (Clause.make ~head [ base; Literal.Sim (s "a", s "a") ])));
+    Alcotest.test_case "x != x sends the clause to the shared falsum form"
+      `Quick (fun () ->
+        let f1 = Clause.make ~head [ base; Literal.Neq (v "t", v "t") ] in
+        let f2 =
+          Clause.make ~head
+            [ rel "q" [ v "a"; v "b"; v "c" ]; Literal.Neq (v "b", v "b") ]
+        in
+        Alcotest.(check bool) "detected" true (Clause_norm.is_trivially_false f1);
+        (* same head shape: both collapse to one cover-cache key *)
+        Alcotest.check clause_eq "shared form" (norm f1) (norm f2);
+        Alcotest.(check int) "falsum body" 1 (Clause.body_size (norm f1)));
+    Alcotest.test_case "distinct-constant checks are kept" `Quick (fun () ->
+        (* the closure can merge constants, so these are not static *)
+        let c = Clause.make ~head [ base; Literal.Eq (s "a", s "b") ] in
+        Alcotest.(check int) "kept" 2 (Clause.body_size (norm c));
+        let n = Clause.make ~head [ base; Literal.Neq (s "a", s "b") ] in
+        Alcotest.(check bool) "not falsum" false (Clause_norm.is_trivially_false n);
+        Alcotest.(check int) "kept too" 2 (Clause.body_size (norm n)));
+    Alcotest.test_case "trivially-true repair condition atoms are deleted"
+      `Quick (fun () ->
+        let repair cond =
+          Literal.Repair
+            {
+              Literal.origin = Literal.From_md "m";
+              group = 0;
+              cond;
+              subject = v "t";
+              replacement = v "r";
+              drops = [];
+            }
+        in
+        let keepme = Cond.Cneq (v "t", v "r") in
+        Alcotest.check clause_eq "Ceq(t,t) removed"
+          (norm (Clause.make ~head [ base; repair [ keepme ] ]))
+          (norm
+             (Clause.make ~head
+                [ base; repair [ Cond.Ceq (v "t", v "t"); keepme ] ])));
+    Alcotest.test_case "duplicates merge" `Quick (fun () ->
+        Alcotest.check clause_eq "merged"
+          (norm (Clause.make ~head [ base ]))
+          (norm (Clause.make ~head [ base; base; base ])));
+    Alcotest.test_case "condensation drops self-subsumed literals" `Quick
+      (fun () ->
+        (* p(x,a) maps onto p(x,t) through its local a *)
+        Alcotest.check clause_eq "condensed"
+          (norm (Clause.make ~head [ base ]))
+          (norm (Clause.make ~head [ base; rel "p" [ v "x"; v "a" ] ]));
+        (* shared variables block the drop *)
+        let c =
+          Clause.make ~head [ base; rel "p" [ v "t"; v "x" ] ]
+        in
+        Alcotest.(check int) "no locals: kept" 2 (Clause.body_size (norm c)));
+    Alcotest.test_case "drops-protected literals survive every pass" `Quick
+      (fun () ->
+        let eq = Literal.Eq (v "t", v "t") in
+        let repair =
+          Literal.Repair
+            {
+              Literal.origin = Literal.From_cfd "c";
+              group = 0;
+              cond = [];
+              subject = v "t";
+              replacement = v "r";
+              drops = [ eq ];
+            }
+        in
+        let c = Clause.make ~head [ base; repair; eq ] in
+        (* the Eq literal is recorded in the repair's drops list: repair
+           application deletes it by Literal.equal, so normalization must
+           keep the body copy byte-compatible *)
+        Alcotest.(check int) "kept" 3 (Clause.body_size (norm c)));
+    Alcotest.test_case "normalize is invariant on its own output" `Quick
+      (fun () ->
+        let c =
+          Clause.make ~head
+            [
+              base;
+              rel "q" [ v "t"; v "z" ];
+              Literal.Sim (v "z", v "w");
+              Literal.Eq (v "x", v "x");
+            ]
+        in
+        let n1 = norm c in
+        Alcotest.check clause_eq "idempotent" n1 (norm n1));
+    Alcotest.test_case "dedup_target strips exact duplicates only" `Quick
+      (fun () ->
+        let ground =
+          Clause.make ~head
+            [ base; base; Literal.Eq (v "t", v "t"); Literal.Eq (v "t", v "t") ]
+        in
+        let d = Clause_norm.dedup_target ground in
+        (* duplicates go; the tautological Eq stays — target literals are
+           closure data, not checks *)
+        Alcotest.(check int) "deduped" 2 (Clause.body_size d);
+        Alcotest.check clause_eq "order preserved"
+          (Clause.make ~head [ base; Literal.Eq (v "t", v "t") ])
+          d);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: invariance and idempotence                                  *)
+(* ------------------------------------------------------------------ *)
+
+let pool = [| "a"; "b"; "c"; "d"; "e"; "f" |]
+
+let term_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map (fun i -> v pool.(i)) (0 -- (Array.length pool - 1)));
+        (1, map s (oneofl [ "k1"; "k2" ]));
+      ])
+
+(* Repair conditions and drops are deterministic functions of the fields
+   [Literal.compare] looks at: the comparator ignores [cond], so two
+   random repairs that compare equal but carried different conditions
+   would make [sort_uniq]'s survivor depend on body order — a
+   pre-existing property of [Clause.canonical] the generator must not
+   trip over. *)
+let repair_gen =
+  QCheck.Gen.(
+    let* subject = term_gen in
+    let* replacement = term_gen in
+    let* group = 0 -- 2 in
+    let cond =
+      match group with
+      | 0 -> []
+      | 1 -> [ Cond.Cneq (subject, replacement) ]
+      | _ -> [ Cond.Ceq (subject, subject); Cond.Csim (subject, replacement) ]
+    in
+    let drops = if group = 1 then [ Literal.Eq (subject, replacement) ] else [] in
+    return
+      (Literal.Repair
+         { Literal.origin = Literal.From_md "m"; group; cond; subject;
+           replacement; drops }))
+
+let literal_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        ( 4,
+          let* p = oneofl [ ("p", 2); ("q", 3); ("r", 1) ] in
+          let* args = list_repeat (snd p) term_gen in
+          return (rel (fst p) args) );
+        (1, map2 (fun a b -> Literal.Sim (a, b)) term_gen term_gen);
+        (1, map2 (fun a b -> Literal.Eq (a, b)) term_gen term_gen);
+        (1, map2 (fun a b -> Literal.Neq (a, b)) term_gen term_gen);
+        (1, repair_gen);
+      ])
+
+let clause_gen =
+  QCheck.Gen.(
+    let* hv = 0 -- (Array.length pool - 1) in
+    let* body = list_size (1 -- 8) literal_gen in
+    return (Clause.make ~head:(rel "h" [ v pool.(hv) ]) body))
+
+let clause_print c = Clause.to_string c
+
+(* A variant: an alpha-renaming (a permutation of the variable pool) plus
+   a permutation of the body literals. *)
+let variant_gen =
+  QCheck.Gen.(
+    let* c = clause_gen in
+    let perm = Array.copy pool in
+    let* () = shuffle_a perm in
+    let* body = shuffle_l c.Clause.body in
+    let rename t =
+      match t with
+      | Term.Var name ->
+          let rec find i =
+            if i >= Array.length pool then t
+            else if String.equal pool.(i) name then Term.var perm.(i)
+            else find (i + 1)
+          in
+          find 0
+      | Term.Const _ -> t
+    in
+    return (c, Clause.map_terms rename { c with Clause.body }))
+
+let fallbacks = Obs.counter "normalize.rename_fallbacks"
+
+(* The individualization budget is a documented escape hatch: when it
+   trips, the representative is still fixed and coverage-sound, just not
+   alpha-invariant. The properties skip those (counted) cases. *)
+let without_fallback f =
+  let before = Obs.value fallbacks in
+  let r = f () in
+  if Obs.value fallbacks > before then None else Some r
+
+let invariance_test =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make
+       ~name:"alpha-renaming + body permutation normalize byte-identically"
+       ~count:1000
+       (QCheck.make
+          ~print:(fun (c, c') ->
+            clause_print c ^ "\n  variant: " ^ clause_print c')
+          variant_gen)
+       (fun (c, c') ->
+         match without_fallback (fun () -> (norm c, norm c')) with
+         | None -> true
+         | Some (n, n') ->
+             if Clause.equal n n' then true
+             else
+               QCheck.Test.fail_reportf
+                 "normal forms differ:\n  %s\n  %s" (clause_print n)
+                 (clause_print n')))
+
+let idempotence_test =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"normalize (normalize c) = normalize c"
+       ~count:1000
+       (QCheck.make ~print:clause_print clause_gen)
+       (fun c ->
+         match without_fallback (fun () -> norm c) with
+         | None -> true
+         | Some n ->
+             if Clause.equal n (norm n) then true
+             else
+               QCheck.Test.fail_reportf "not idempotent:\n  %s\n  %s"
+                 (clause_print n)
+                 (clause_print (norm n))))
+
+(* ------------------------------------------------------------------ *)
+(* Toy workload (mirrors test_incremental.ml)                          *)
+(* ------------------------------------------------------------------ *)
+
+let sv x = Value.String x
+
+let toy_db () =
+  let db = Database.create () in
+  let movies =
+    Database.create_relation db
+      (Schema.string_attrs "imdb_movies" [ "id"; "title"; "year" ])
+  in
+  Relation.insert_all movies
+    [
+      Tuple.of_strings [ "m1"; "Superbad (2007)"; "y2007" ];
+      Tuple.of_strings [ "m2"; "Zoolander (2001)"; "y2001" ];
+      Tuple.of_strings [ "m3"; "The Orphanage (2007)"; "y2007" ];
+      Tuple.of_strings [ "m4"; "Alien (1979)"; "y1979" ];
+    ];
+  let genres =
+    Database.create_relation db
+      (Schema.string_attrs "imdb_genres" [ "id"; "genre" ])
+  in
+  Relation.insert_all genres
+    [
+      Tuple.of_strings [ "m1"; "comedy" ];
+      Tuple.of_strings [ "m2"; "comedy" ];
+      Tuple.of_strings [ "m3"; "drama" ];
+      Tuple.of_strings [ "m4"; "scifi" ];
+    ];
+  let ratings =
+    Database.create_relation db
+      (Schema.string_attrs "bom_ratings" [ "title"; "rating" ])
+  in
+  Relation.insert_all ratings
+    [
+      Tuple.of_strings [ "Superbad [2007]"; "R" ];
+      Tuple.of_strings [ "Zoolander [2001]"; "PG-13" ];
+      Tuple.of_strings [ "The Orphanage [2007]"; "R" ];
+      Tuple.of_strings [ "Alien [1979]"; "R" ];
+    ];
+  let locale =
+    Database.create_relation db
+      (Schema.string_attrs "locale" [ "id"; "language"; "country" ])
+  in
+  Relation.insert_all locale
+    [
+      Tuple.of_strings [ "m1"; "English"; "USA" ];
+      Tuple.of_strings [ "m1"; "English"; "Ireland" ];
+      Tuple.of_strings [ "m2"; "English"; "USA" ];
+    ];
+  db
+
+let phi =
+  Cfd.make ~id:"phi" ~relation:"locale"
+    ~lhs:[ ("id", Cfd.Wildcard); ("language", Cfd.Const (sv "English")) ]
+    ~rhs:("country", Cfd.Wildcard)
+
+let md_title =
+  Md.make ~id:"title_md" ~left:"imdb_movies" ~right:"bom_ratings"
+    ~compared:[ ("title", "title") ] ~unified:("title", "title") ()
+
+let target = Schema.string_attrs "restricted" [ "id" ]
+
+let toy_config ~normalize =
+  {
+    (Config.default ~target) with
+    Config.constant_attrs =
+      [ ("bom_ratings", "rating"); ("imdb_genres", "genre") ];
+    sim = { Md.default_sim with Md.threshold = 0.6 };
+    min_pos = 2;
+    sample_positives = 4;
+    num_domains = 1;
+    incremental_coverage = true;
+    normalize_clauses = normalize;
+    allow_dirty_constraints = true;
+  }
+
+let make_ctx ~normalize =
+  Context.create (toy_config ~normalize) (toy_db ()) [ md_title ] [ phi ]
+
+let ex id = Tuple.of_strings [ id ]
+let examples = [| ex "m1"; ex "m2"; ex "m3"; ex "m4" |]
+
+(* ------------------------------------------------------------------ *)
+(* Coverage preservation: normalized clause ≡ raw clause               *)
+(* ------------------------------------------------------------------ *)
+
+(* Prepared in a normalize-off context, so both sides are tested exactly
+   as given: this checks the pipeline's rewrites against the real
+   engines over repair-laden bottom/ARMG clauses, not just the climb. *)
+let coverage_preservation_test =
+  let ctx = lazy (make_ctx ~normalize:false) in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make
+       ~name:"coverage of the normalized clause equals the raw clause"
+       ~count:60
+       QCheck.(
+         make
+           ~print:(fun (i, js) ->
+             Printf.sprintf "seed=%d others=%s" i
+               (String.concat ","
+                  (List.map string_of_int js)))
+           Gen.(pair (0 -- 3) (list_size (0 -- 3) (0 -- 3))))
+       (fun (i, js) ->
+         let ctx = Lazy.force ctx in
+         let seed = examples.(i) in
+         let bottom = Bottom_clause.build ctx Bottom_clause.Variable seed in
+         let clauses =
+           bottom
+           :: List.filter_map
+                (fun j -> Generalization.armg ctx bottom examples.(j))
+                js
+         in
+         let universe = Array.to_list examples in
+         List.for_all
+           (fun clause ->
+             let raw =
+               Coverage.coverage ctx
+                 (Coverage.prepare ctx clause)
+                 ~pos:universe ~neg:universe
+             in
+             let normed =
+               Coverage.coverage ctx
+                 (Coverage.prepare ctx (Clause_norm.normalize clause))
+                 ~pos:universe ~neg:universe
+             in
+             if raw <> normed then
+               QCheck.Test.fail_reportf
+                 "coverage changed: raw (%d, %d) <> normalized (%d, %d)\n%s"
+                 (fst raw) (snd raw) (fst normed) (snd normed)
+                 (Clause.to_string clause)
+             else true)
+           clauses))
+
+(* ------------------------------------------------------------------ *)
+(* Learn differential: normalize-on ≡ normalize-off, fewer solves      *)
+(* ------------------------------------------------------------------ *)
+
+(* Contexts persist across all QCheck cases (ground caches warm up as in
+   a real run); the coverage.tested counter is global, so each learn is
+   bracketed by snapshots to attribute verdict work per context. *)
+let ctx_on = lazy (make_ctx ~normalize:true)
+let ctx_off = lazy (make_ctx ~normalize:false)
+let tested_on = ref 0
+let tested_off = ref 0
+
+let outcome acc ctx ~pos ~neg =
+  let tested = (Lazy.force ctx).Context.cover_stats.Context.tested in
+  let before = Obs.value tested in
+  let r = Learner.learn (Lazy.force ctx) ~pos ~neg in
+  acc := !acc + (Obs.value tested - before);
+  ( Definition.to_string r.Learner.definition,
+    List.map
+      (fun st -> (st.Learner.pos_covered, st.Learner.neg_covered))
+      r.Learner.stats )
+
+let example_list_gen =
+  QCheck.Gen.(list_size (0 -- 6) (map (fun i -> examples.(i)) (0 -- 3)))
+
+let learn_differential_test =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make
+       ~name:"learn: normalize-on equals normalize-off (500 cases)"
+       ~count:500
+       (QCheck.make
+          ~print:(fun (pos, neg) ->
+            Printf.sprintf "pos=[%s] neg=[%s]"
+              (String.concat ";" (List.map Tuple.to_string pos))
+              (String.concat ";" (List.map Tuple.to_string neg)))
+          QCheck.Gen.(pair example_list_gen example_list_gen))
+       (fun (pos, neg) ->
+         let def_off, stats_off = outcome tested_off ctx_off ~pos ~neg in
+         let def_on, stats_on = outcome tested_on ctx_on ~pos ~neg in
+         if def_on <> def_off then
+           QCheck.Test.fail_reportf
+             "definition diverged:\n--- normalize off\n%s\n--- normalize on\n%s"
+             def_off def_on
+         else if stats_on <> stats_off then
+           QCheck.Test.fail_reportf "per-clause stats diverged"
+         else true))
+
+(* Runs after the differential (Alcotest executes the list in order). *)
+let solve_budget_test =
+  Alcotest.test_case "normalization never tests more coverage verdicts"
+    `Quick (fun () ->
+      Alcotest.(check bool)
+        (Printf.sprintf "tested on=%d <= off=%d" !tested_on !tested_off)
+        true
+        (!tested_on <= !tested_off))
+
+(* Deterministic strict improvement: rescoring an alpha-renamed variant
+   is a pure cache hit with normalization on, and a full recompute off. *)
+let alpha_cache_test =
+  Alcotest.test_case "alpha-variant rescoring hits the cache" `Quick
+    (fun () ->
+      let universe = Array.to_list examples in
+      let score ctx clause =
+        let tested = ctx.Context.cover_stats.Context.tested in
+        let before = Obs.value tested in
+        ignore
+          (Coverage.coverage ctx
+             (Coverage.prepare ctx clause)
+             ~pos:universe ~neg:universe);
+        Obs.value tested - before
+      in
+      let rename c =
+        Clause.map_terms
+          (function
+            | Term.Var name -> Term.var ("zz_" ^ name)
+            | t -> t)
+          c
+      in
+      let run ctx =
+        let bottom =
+          Bottom_clause.build ctx Bottom_clause.Variable (ex "m1")
+        in
+        ignore (score ctx bottom);
+        score ctx (rename bottom)
+      in
+      let on_delta = run (make_ctx ~normalize:true) in
+      let off_delta = run (make_ctx ~normalize:false) in
+      Alcotest.(check int) "on: all verdicts cached" 0 on_delta;
+      Alcotest.(check bool)
+        (Printf.sprintf "off: recomputes (%d verdicts)" off_delta)
+        true (off_delta > 0))
+
+let () =
+  Alcotest.run "normalize"
+    [
+      ("passes", unit_tests);
+      ("canonical form", [ invariance_test; idempotence_test ]);
+      ("coverage", [ coverage_preservation_test ]);
+      ( "differential",
+        [ learn_differential_test; solve_budget_test; alpha_cache_test ] );
+    ]
