@@ -228,6 +228,11 @@ let bench_jobs = ref 4
    bench run carries its own stage breakdown. *)
 let bench_report = ref false
 
+(* --engine: restrict bench_subsumption to a single engine — the CI smoke
+   mode. The cross-engine count check and the JSON artifact need the full
+   race, so both are skipped under the restriction. *)
+let bench_engine : Dlearn_logic.Subsumption.engine option ref = ref None
+
 let obs_field () =
   if !bench_report then
     Printf.sprintf ",\n  \"obs\": %s\n" (Dlearn_obs.Obs.report_json ())
@@ -458,14 +463,23 @@ let bench_coverage ~folds:_ ~n () =
 
 (* θ-subsumption engines: replay the same ARMG-chain coverage workload as
    [bench_coverage] — the hill-climb's actual access pattern — through the
-   backtracking baseline and the CSP kernel, sequentially and from
-   scratch, so the measured difference is exactly the matching engine.
-   Both engines must produce identical (p, n) counts on every chain
-   element. Emits BENCH_subsumption.json with a geometric-mean speedup
-   over the non-trivial datasets (imdb3, walmart). *)
+   backtracking baseline, the CSP kernel and the SAT ground encoding,
+   sequentially and from scratch, so the measured difference is exactly
+   the matching engine. All engines must produce identical (p, n) counts
+   on every chain element. Emits BENCH_subsumption.json with per-engine
+   times, CSP node counts, SAT conflict/reuse counters, and geometric-mean
+   speedups over the non-trivial datasets (imdb3, walmart). [--engine]
+   restricts the race to one engine (CI smoke; no artifact written). *)
 let bench_subsumption ~folds:_ ~n () =
   let module Subsumption = Dlearn_logic.Subsumption in
-  Printf.printf "== Theta-subsumption: backtracking vs CSP kernel ==\n";
+  let module Sat = Dlearn_logic.Sat_subsumption in
+  let engines =
+    match !bench_engine with
+    | Some e -> [ e ]
+    | None -> [ `Backtrack; `Csp; `Sat ]
+  in
+  Printf.printf "== Theta-subsumption engines: %s ==\n"
+    (String.concat " vs " (List.map Subsumption.engine_name engines));
   let datasets =
     [
       ("imdb1", fun () -> Imdb_omdb.generate ?n `One_md);
@@ -524,6 +538,7 @@ let bench_subsumption ~folds:_ ~n () =
         let replay engine =
           let ctx = make_ctx engine in
           Subsumption.reset_stats ();
+          Sat.reset_stats ();
           let t0 = Unix.gettimeofday () in
           let counts =
             List.map
@@ -533,80 +548,135 @@ let bench_subsumption ~folds:_ ~n () =
               chain
           in
           let dt = Unix.gettimeofday () -. t0 in
-          (dt, counts, Subsumption.stats ())
+          (engine, (dt, counts, Subsumption.stats (), Sat.stats ()))
         in
-        let t_bt, counts_bt, _ = replay `Backtrack in
-        let t_csp, counts_csp, csp_stats = replay `Csp in
-        if counts_bt <> counts_csp then
-          failwith
-            (Printf.sprintf "%s: engines disagree on coverage counts" name);
-        Printf.printf
-          "%s csp kernel: %d solves, %d nodes, %d propagations, %d wipeouts, \
-           %.3fs setup, %.3fs search\n%!"
-          name csp_stats.Subsumption.solves csp_stats.Subsumption.nodes
-          csp_stats.Subsumption.propagations csp_stats.Subsumption.wipeouts
-          csp_stats.Subsumption.setup_seconds
-          csp_stats.Subsumption.search_seconds;
-        ( name,
-          List.length chain,
-          List.length pos,
-          List.length neg,
-          t_bt,
-          t_csp,
-          csp_stats ))
+        let runs = List.map replay engines in
+        (match runs with
+        | (_, (_, counts0, _, _)) :: rest ->
+            List.iter
+              (fun (e, (_, counts, _, _)) ->
+                if counts <> counts0 then
+                  failwith
+                    (Printf.sprintf
+                       "%s: engine %s disagrees on coverage counts" name
+                       (Subsumption.engine_name e)))
+              rest
+        | [] -> ());
+        List.iter
+          (fun (e, (_, _, cst, sst)) ->
+            match e with
+            | `Csp ->
+                Printf.printf
+                  "%s csp kernel: %d solves, %d nodes, %d propagations, %d \
+                   wipeouts, %.3fs setup, %.3fs search\n\
+                   %!"
+                  name cst.Subsumption.solves cst.Subsumption.nodes
+                  cst.Subsumption.propagations cst.Subsumption.wipeouts
+                  cst.Subsumption.setup_seconds cst.Subsumption.search_seconds
+            | `Sat ->
+                Printf.printf
+                  "%s sat engine: %d solves, %d conflicts, %d propagations, \
+                   %d learned, %d restarts, %d reused-clause hits, %.3fs \
+                   encode, %.3fs solve\n\
+                   %!"
+                  name sst.Sat.solves sst.Sat.conflicts sst.Sat.propagations
+                  sst.Sat.learned sst.Sat.restarts sst.Sat.reused_clause_hits
+                  sst.Sat.encode_seconds sst.Sat.solve_seconds
+            | `Backtrack -> ())
+          runs;
+        (name, List.length chain, List.length pos, List.length neg, runs))
       datasets
   in
-  Text_table.print
-    ~header:[ "dataset"; "chain"; "backtrack"; "csp"; "speedup" ]
-    (List.map
-       (fun (name, chain, _, _, tb, tc, _) ->
-         [
-           name;
-           string_of_int chain;
-           Printf.sprintf "%.3fs" tb;
-           Printf.sprintf "%.3fs" tc;
-           Printf.sprintf "%.2fx" (tb /. tc);
-         ])
-       results);
-  (* imdb1's replay is too small to measure reliably; the acceptance
-     criterion is the geometric mean over the non-trivial datasets. *)
-  let geo =
-    let speedups =
-      List.filter_map
-        (fun (name, _, _, _, tb, tc, _) ->
-          if name = "imdb1" then None else Some (tb /. tc))
-        results
-    in
-    exp
-      (List.fold_left (fun acc s -> acc +. log s) 0. speedups
-      /. float_of_int (List.length speedups))
+  let time_of e runs =
+    match List.assoc_opt e runs with
+    | Some (dt, _, _, _) -> dt
+    | None -> nan
   in
-  Printf.printf "geometric-mean speedup (imdb3, walmart): %.2fx\n\n" geo;
-  let oc = open_out "BENCH_subsumption.json" in
-  let n_str = match n with Some v -> string_of_int v | None -> "null" in
-  Printf.fprintf oc
-    "{\n  \"bench\": \"subsumption\",\n  \"n\": %s,\n  \"datasets\": [\n" n_str;
-  List.iteri
-    (fun i (name, chain, npos, nneg, tb, tc, st) ->
+  Text_table.print
+    ~header:
+      ([ "dataset"; "chain" ]
+      @ List.map Subsumption.engine_name engines
+      @ List.map
+          (fun e -> Subsumption.engine_name e ^ " x")
+          (match engines with _ :: tl -> tl | [] -> []))
+    (List.map
+       (fun (name, chain, _, _, runs) ->
+         [ name; string_of_int chain ]
+         @ List.map
+             (fun e -> Printf.sprintf "%.3fs" (time_of e runs))
+             engines
+         @ List.map
+             (fun e ->
+               Printf.sprintf "%.2fx"
+                 (time_of (List.hd engines) runs /. time_of e runs))
+             (match engines with _ :: tl -> tl | [] -> []))
+       results);
+  match engines with
+  | [ only ] ->
+      Printf.printf
+        "single-engine smoke (%s): count check and BENCH_subsumption.json \
+         skipped\n\n"
+        (Subsumption.engine_name only)
+  | _ ->
+      (* imdb1's replay is too small to measure reliably; the acceptance
+         criterion is the geometric mean over the non-trivial datasets. *)
+      let geo engine =
+        let speedups =
+          List.filter_map
+            (fun (name, _, _, _, runs) ->
+              if name = "imdb1" then None
+              else Some (time_of `Backtrack runs /. time_of engine runs))
+            results
+        in
+        exp
+          (List.fold_left (fun acc s -> acc +. log s) 0. speedups
+          /. float_of_int (List.length speedups))
+      in
+      let geo_csp = geo `Csp and geo_sat = geo `Sat in
+      Printf.printf
+        "geometric-mean speedup vs backtrack (imdb3, walmart): csp %.2fx, \
+         sat %.2fx\n\n"
+        geo_csp geo_sat;
+      let oc = open_out "BENCH_subsumption.json" in
+      let n_str = match n with Some v -> string_of_int v | None -> "null" in
       Printf.fprintf oc
-        "    {\"dataset\": \"%s\", \"chain_length\": %d, \"pos\": %d, \
-         \"neg\": %d,\n\
-        \     \"backtrack_s\": %.6f, \"csp_s\": %.6f, \"speedup_csp\": %.3f,\n\
-        \     \"csp_solves\": %d, \"csp_nodes\": %d, \"csp_propagations\": \
-         %d, \"csp_wipeouts\": %d,\n\
-        \     \"csp_setup_s\": %.6f, \"csp_search_s\": %.6f}%s\n"
-        name chain npos nneg tb tc (tb /. tc)
-        st.Dlearn_logic.Subsumption.solves st.Dlearn_logic.Subsumption.nodes
-        st.Dlearn_logic.Subsumption.propagations
-        st.Dlearn_logic.Subsumption.wipeouts
-        st.Dlearn_logic.Subsumption.setup_seconds
-        st.Dlearn_logic.Subsumption.search_seconds
-        (if i = List.length results - 1 then "" else ","))
-    results;
-  Printf.fprintf oc "  ],\n  \"geomean_speedup_nontrivial\": %.3f%s}\n" geo
-    (obs_field ());
-  close_out oc;
-  Printf.printf "wrote BENCH_subsumption.json\n\n"
+        "{\n  \"bench\": \"subsumption\",\n  \"n\": %s,\n  \"datasets\": [\n"
+        n_str;
+      List.iteri
+        (fun i (name, chain, npos, nneg, runs) ->
+          let _, _, cst, _ = List.assoc `Csp runs in
+          let _, _, _, sst = List.assoc `Sat runs in
+          let tb = time_of `Backtrack runs
+          and tc = time_of `Csp runs
+          and ts = time_of `Sat runs in
+          Printf.fprintf oc
+            "    {\"dataset\": \"%s\", \"chain_length\": %d, \"pos\": %d, \
+             \"neg\": %d,\n\
+            \     \"backtrack_s\": %.6f, \"csp_s\": %.6f, \"sat_s\": %.6f, \
+             \"speedup_csp\": %.3f, \"speedup_sat\": %.3f,\n\
+            \     \"csp_solves\": %d, \"csp_nodes\": %d, \
+             \"csp_propagations\": %d, \"csp_wipeouts\": %d,\n\
+            \     \"csp_setup_s\": %.6f, \"csp_search_s\": %.6f,\n\
+            \     \"sat_solves\": %d, \"sat_conflicts\": %d, \
+             \"sat_propagations\": %d, \"sat_learned\": %d,\n\
+            \     \"sat_restarts\": %d, \"sat_reused_clause_hits\": %d, \
+             \"sat_encode_s\": %.6f, \"sat_solve_s\": %.6f}%s\n"
+            name chain npos nneg tb tc ts (tb /. tc) (tb /. ts)
+            cst.Subsumption.solves cst.Subsumption.nodes
+            cst.Subsumption.propagations cst.Subsumption.wipeouts
+            cst.Subsumption.setup_seconds cst.Subsumption.search_seconds
+            sst.Sat.solves sst.Sat.conflicts sst.Sat.propagations
+            sst.Sat.learned sst.Sat.restarts sst.Sat.reused_clause_hits
+            sst.Sat.encode_seconds sst.Sat.solve_seconds
+            (if i = List.length results - 1 then "" else ","))
+        results;
+      Printf.fprintf oc
+        "  ],\n\
+        \  \"geomean_speedup_nontrivial\": %.3f,\n\
+        \  \"geomean_speedup_sat_nontrivial\": %.3f%s}\n"
+        geo_csp geo_sat (obs_field ());
+      close_out oc;
+      Printf.printf "wrote BENCH_subsumption.json\n\n"
 
 (* Clause normalization as the cover-cache key: replay the ARMG chain,
    then rescore an alpha-renamed, body-reversed variant of every chain
@@ -864,7 +934,8 @@ let all_benches =
 
 let usage ?(code = 1) () =
   Printf.printf
-    "usage: main.exe [%s|micro|all] [--folds K] [--n N] [--jobs N] [--report]\n"
+    "usage: main.exe [%s|micro|all] [--folds K] [--n N] [--jobs N] \
+     [--engine csp|backtrack|sat] [--report]\n"
     (String.concat "|" (List.map fst all_benches));
   exit code
 
@@ -889,6 +960,13 @@ let () =
            drivers create below (Config.default reads the variable). *)
         bench_jobs := int_of_string v;
         Unix.putenv "DLEARN_NUM_DOMAINS" v;
+        parse rest
+    | "--engine" :: v :: rest ->
+        (match Dlearn_logic.Subsumption.engine_of_string v with
+        | Some e -> bench_engine := Some e
+        | None ->
+            Printf.printf "unknown engine %s\n" v;
+            usage ());
         parse rest
     | "--report" :: rest ->
         bench_report := true;

@@ -85,15 +85,25 @@ let no_normalize_arg =
   Arg.(value & flag & info [ "no-normalize" ] ~doc)
 
 let subsumption_engine_arg =
+  (* The engine list renders from Subsumption.all_engines so the flag,
+     its help text and the library cannot drift. *)
+  let names =
+    List.map
+      (fun (name, _) -> Printf.sprintf "$(b,%s)" name)
+      Dlearn_logic.Subsumption.all_engines
+  in
   let doc =
-    "Theta-subsumption search engine: $(b,csp) (forward-checking kernel, \
-     the default) or $(b,backtrack) (reference backtracking search). Both \
-     engines learn the identical definition; also settable via \
-     DLEARN_SUBSUMPTION=backtrack."
+    Printf.sprintf
+      "Theta-subsumption search engine: %s ($(b,csp), the forward-checking \
+       kernel, is the default; $(b,backtrack) is the reference \
+       backtracking search; $(b,sat) grounds into an incremental CDCL \
+       solver). Every engine learns the identical definition; also \
+       settable via DLEARN_SUBSUMPTION."
+      (String.concat ", " names)
   in
   Arg.(
     value
-    & opt (some (enum [ ("csp", `Csp); ("backtrack", `Backtrack) ])) None
+    & opt (some (enum Dlearn_logic.Subsumption.all_engines)) None
     & info [ "subsumption-engine" ] ~docv:"ENGINE" ~doc)
 
 let trace_arg =

@@ -65,8 +65,9 @@ type t = {
   subsumption_engine : Dlearn_logic.Subsumption.engine;
       (** θ-subsumption search engine used by coverage testing: [`Csp]
           (default) is the forward-checking kernel, [`Backtrack] the
-          reference backtracking search. Both learn the identical
-          definition — see docs/SUBSUMPTION.md *)
+          reference backtracking search, [`Sat] the incremental CDCL
+          ground encoding. All learn the identical definition — see
+          docs/SUBSUMPTION.md *)
   parallel_min_batch : int;
       (** batches smaller than this stay on the sequential path even when
           [num_domains > 1]: fan-out overhead dominates for tiny example
@@ -87,7 +88,8 @@ type t = {
     [true], overridable through [DLEARN_NORMALIZE] (same spellings
     disable it); [subsumption_engine] defaults to
     [`Csp], overridable through [DLEARN_SUBSUMPTION] ([backtrack]/[bt]/
-    [0]/[off] select the backtracking engine); [parallel_min_batch]
+    [0]/[off] select the backtracking engine, [sat] the CDCL ground
+    encoding); [parallel_min_batch]
     defaults to 16; [trace] defaults to the [DLEARN_TRACE] path when that
     variable is set and non-empty, [None] otherwise. All environment
     variables read at each call. *)

@@ -261,8 +261,18 @@ let learn ctx ~pos ~neg =
           (Obs.value cs.Context.cache_hits)
           (Obs.value cs.Context.pruned))
   end;
-  if config.Config.subsumption_engine = `Csp then
-    Dlearn_logic.Subsumption.log_stats ();
+  (match config.Config.subsumption_engine with
+  | `Csp -> Dlearn_logic.Subsumption.log_stats ()
+  | `Sat ->
+      let st : Dlearn_logic.Sat_subsumption.stats =
+        Dlearn_logic.Sat_subsumption.stats ()
+      in
+      Log.info (fun m ->
+          m
+            "sat subsumption: %d solves, %d conflicts, %d learned clauses, \
+             %d reused-clause hits"
+            st.solves st.conflicts st.learned st.reused_clause_hits)
+  | `Backtrack -> ());
   {
     definition;
     stats;

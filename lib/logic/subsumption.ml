@@ -8,17 +8,19 @@ type outcome =
   | Not_subsumed
   | Budget_exhausted
 
-type engine = [ `Csp | `Backtrack ]
+type engine = [ `Csp | `Backtrack | `Sat ]
 
 (* DLEARN_SUBSUMPTION=backtrack (or bt/0/off) pins the reference
-   backtracking engine; anything else — including unset — selects the CSP
-   kernel. Read at each call, like the other rollout variables, so test
-   matrices can flip it without plumbing a flag. *)
+   backtracking engine, =sat the ground-instantiation SAT engine;
+   anything else — including unset — selects the CSP kernel. Read at
+   each call, like the other rollout variables, so test matrices can
+   flip it without plumbing a flag. *)
 let default_engine () : engine =
   match Sys.getenv_opt "DLEARN_SUBSUMPTION" with
   | Some s -> (
       match String.lowercase_ascii (String.trim s) with
       | "backtrack" | "bt" | "0" | "off" -> `Backtrack
+      | "sat" -> `Sat
       | _ -> `Csp)
   | None -> `Csp
 
@@ -26,9 +28,19 @@ let engine_of_string s =
   match String.lowercase_ascii (String.trim s) with
   | "csp" -> Some `Csp
   | "backtrack" | "bt" -> Some `Backtrack
+  | "sat" -> Some `Sat
   | _ -> None
 
-let engine_name = function `Csp -> "csp" | `Backtrack -> "backtrack"
+let engine_name = function
+  | `Csp -> "csp"
+  | `Backtrack -> "backtrack"
+  | `Sat -> "sat"
+
+(* The one source of truth for every engine-selection surface (CLI enum,
+   help text, env parsing above, CI matrices): name in canonical
+   spelling, paired with its variant. *)
+let all_engines : (string * engine) list =
+  [ ("csp", `Csp); ("backtrack", `Backtrack); ("sat", `Sat) ]
 
 exception Exhausted
 
@@ -51,6 +63,9 @@ type target = {
       (* per D literal, its key terms (arguments; subject/replacement for
          repairs) as term ids — the kernel matches on these ints and never
          re-reads the literals *)
+  sat_cache : Sat_subsumption.cache;
+      (* the [`Sat] engine's per-target incremental solver, shared by
+         every candidate of the ARMG chain tested against this target *)
 }
 
 let literal_key_terms = function
@@ -203,6 +218,7 @@ let prepare (d : Clause.t) =
     attached_repairs = repair_connectivity_sets d_literals;
     term_tab = Array.of_list (List.rev !terms_rev);
     key_tids;
+    sat_cache = Sat_subsumption.new_cache ();
   }
 
 (* A constant of C matches a term of D when they are equal, or when D's
@@ -380,6 +396,153 @@ let check_repair_connectivity target image =
   IntSet.for_all
     (fun id -> IntSet.subset target.attached_repairs.(id) !mapped_repairs)
     !mapped_non_repair
+
+(* Exhaustive chronological search with the repair-connectivity
+   condition enforced at every complete assignment — the naive engine's
+   search, shared with [`Backtrack] as its completeness fallback.
+   The decomposed engines commit each independent fragment's first
+   solution, which is complete for plain satisfiability but not under
+   the global connectivity condition: a rejected image might have been
+   fixed by a different solution of an already-committed sibling
+   fragment. Rather than couple the fragments, a decomposed engine
+   whose witness fails the condition re-decides the instance with a
+   search that backtracks *through* the check instead of post-filtering
+   its first witness: [`Backtrack] re-runs this one (self-contained, so
+   the reference engine owes nothing to the solver), while [`Csp]
+   delegates to the SAT engine, which is much faster on the
+   repair-heavy instances that land here.
+
+   Body order is kept as-is: C's relational literals carry the join
+   variables, so they prune hardest; hoisting the repair literals to the
+   front (to finalize the mapped-repair set early) was measured to
+   enumerate near-cartesian repair placements before any rel constrains
+   the shared subject variables — far slower on the bottom-clause
+   workloads that actually trigger the fallback.
+
+   Instead, connectivity is propagated as an achievability bound: at
+   each node the obligations accumulated so far (attached repairs of
+   every mapped non-repair literal, plus the head's) must be coverable
+   by the repairs already placed together with what the *remaining*
+   repair literals could still place — per-suffix unions of their
+   static candidate buckets, computed once up front. A branch that maps
+   a rel whose attached repairs can no longer all be placed dies
+   immediately instead of at full assignment; in particular a candidate
+   with no repair literals at all refutes in one step per branch. *)
+let search_exhaustive target budget ~repair_connectivity (c : Clause.t) theta0 =
+  let gens, checks =
+    List.partition
+      (function
+        | Literal.Rel _ | Literal.Repair _ | Literal.Sim _ -> true
+        | Literal.Eq _ | Literal.Neq _ -> false)
+      c.body
+  in
+  (* suffix_placeable.(i): every D repair id some repair literal among
+     gens[i..] could still map to, ignoring bindings — a sound
+     overapproximation (candidate buckets only shrink under theta). *)
+  let suffix_placeable =
+    if not repair_connectivity then [||]
+    else begin
+      let n = List.length gens in
+      let arr = Array.make (n + 1) IntSet.empty in
+      List.iteri
+        (fun i l ->
+          let bucket =
+            match l with
+            | Literal.Repair { origin; _ } ->
+                List.fold_left
+                  (fun s id -> IntSet.add id s)
+                  IntSet.empty
+                  (Option.value ~default:[]
+                     (Hashtbl.find_opt target.repairs_by_origin
+                        (Literal.origin_to_string origin)))
+            | _ -> IntSet.empty
+          in
+          (* filled back-to-front below; stash each bucket first *)
+          arr.(i) <- bucket)
+        gens;
+      for i = n - 1 downto 0 do
+        arr.(i) <- IntSet.union arr.(i) arr.(i + 1)
+      done;
+      arr
+    end
+  in
+  let head_required =
+    if repair_connectivity then target.attached_repairs.(0) else IntSet.empty
+  in
+  let rec search i remaining theta required placed image =
+    if
+      repair_connectivity
+      && not (IntSet.subset required (IntSet.union placed suffix_placeable.(i)))
+    then None
+    else
+      match remaining with
+      | [] ->
+          if not (resolve_checks target theta checks) then None
+          else if
+            repair_connectivity && not (check_repair_connectivity target image)
+          then None
+          else Some theta
+      | l :: rest ->
+          let rec try_candidates = function
+            | [] -> None
+            | (theta', id_opt) :: more -> (
+                let required', placed', image' =
+                  match id_opt with
+                  | None -> (required, placed, image)
+                  | Some id ->
+                      let required', placed' =
+                        if not repair_connectivity then (required, placed)
+                        else
+                          match l with
+                          | Literal.Repair _ -> (required, IntSet.add id placed)
+                          | _ ->
+                              ( IntSet.union required
+                                  target.attached_repairs.(id),
+                                placed )
+                      in
+                      (required', placed', IntSet.add id image)
+                in
+                match search (i + 1) rest theta' required' placed' image' with
+                | Some _ as ok -> ok
+                | None -> try_candidates more)
+          in
+          try_candidates (candidates target budget theta l)
+  in
+  search 0 gens theta0 head_required IntSet.empty IntSet.empty
+
+(* The [`Sat] engine lives in {!Sat_subsumption}, which depends only on
+   the term/clause layer; it sees the prepared target through this view
+   — the raw index fields plus closures over the private finish logic,
+   so both engines share [resolve_checks] and the connectivity sets.
+   Defined here, before the decomposed engines, because they delegate
+   their completeness fallback to it (see [subsumes_target_csp]). *)
+let sat_view (t : target) : Sat_subsumption.view =
+  {
+    Sat_subsumption.d_literals = t.d_literals;
+    rel_ids =
+      (fun p -> Option.value ~default:[] (Hashtbl.find_opt t.rels_by_pred p));
+    repair_ids =
+      (fun o ->
+        Option.value ~default:[] (Hashtbl.find_opt t.repairs_by_origin o));
+    sim_ids = t.sim_ids;
+    env = t.env;
+    term_tab = t.term_tab;
+    key_tids = t.key_tids;
+    connectivity_ok =
+      (fun ids ->
+        check_repair_connectivity t
+          (List.fold_left (fun s i -> IntSet.add i s) IntSet.empty ids));
+    attached_repairs = (fun id -> IntSet.elements t.attached_repairs.(id));
+    resolve_residue = (fun theta checks -> resolve_checks t theta checks);
+    cache = t.sat_cache;
+  }
+
+let subsumes_target_sat ?budget ?repair_connectivity (c : Clause.t)
+    (target : target) =
+  match Sat_subsumption.subsumes ?budget ?repair_connectivity (sat_view target) c with
+  | `Subsumed theta -> Subsumed theta
+  | `Not_subsumed -> Not_subsumed
+  | `Budget_exhausted -> Budget_exhausted
 
 let is_check = function
   | Literal.Eq _ | Literal.Neq _ -> true
@@ -646,8 +809,8 @@ let subsumes_target_csp ?(budget = 200_000) ?(repair_connectivity = true)
             (* The environment pseudo-candidate. Decidable at setup (both
                sides resolved): enumerate it first, like the reference
                engines — its empty image also biases the first witness
-               toward passing the post-hoc connectivity check, which all
-               engines apply only once. Undecidable: it becomes a
+               toward passing the connectivity check, sparing the strict
+               re-search. Undecidable: it becomes a
                *deferred* branch, validated by forward checking as its
                sides bind and at the end of the component; it goes last
                so the constraining D-literal candidates (which bind the
@@ -1189,7 +1352,20 @@ let subsumes_target_csp ?(budget = 200_000) ?(repair_connectivity = true)
             if
               repair_connectivity
               && not (check_repair_connectivity target !image)
-            then record Not_subsumed
+            then
+              (* The first witness's image is rejected; completeness
+                 needs a search that backtracks *through* the
+                 connectivity condition. Delegated to the SAT engine:
+                 its connectivity clauses decide these instances orders
+                 of magnitude faster than an exhaustive re-search (the
+                 per-target solver is shared, so encodings and learned
+                 clauses amortize across an ARMG chain that keeps
+                 landing here), while [`Backtrack] keeps the
+                 self-contained [search_exhaustive] re-search so the
+                 reference engine stays independent of the solver. *)
+              record
+                (subsumes_target_sat ~budget:(max 1 !budget)
+                   ~repair_connectivity:true c target)
             else record (Subsumed (current_subst ()))
           end
         end
@@ -1386,7 +1562,14 @@ let subsumes_target_backtrack ?(budget = 200_000) ?(repair_connectivity = true)
             if
               repair_connectivity
               && not (check_repair_connectivity target image)
-            then Not_subsumed
+            then (
+              (* first witness rejected — see [search_exhaustive] *)
+              match
+                search_exhaustive target budget ~repair_connectivity:true c
+                  theta0
+              with
+              | Some theta -> Subsumed theta
+              | None -> Not_subsumed)
             else Subsumed theta
         | None -> Not_subsumed
       with Exhausted -> Budget_exhausted)
@@ -1399,6 +1582,7 @@ let subsumes_target ?engine ?budget ?repair_connectivity (c : Clause.t)
   match engine with
   | `Csp -> subsumes_target_csp ?budget ?repair_connectivity c target
   | `Backtrack -> subsumes_target_backtrack ?budget ?repair_connectivity c target
+  | `Sat -> subsumes_target_sat ?budget ?repair_connectivity c target
 
 let subsumes ?engine ?budget ?repair_connectivity c d =
   subsumes_target ?engine ?budget ?repair_connectivity c (prepare d)
@@ -1418,39 +1602,8 @@ let subsumes_naive ?(budget = 200_000) ?(repair_connectivity = true)
   match head_theta with
   | None -> Not_subsumed
   | Some theta0 -> (
-      let gens, checks =
-        List.partition
-          (function
-            | Literal.Rel _ | Literal.Repair _ | Literal.Sim _ -> true
-            | Literal.Eq _ | Literal.Neq _ -> false)
-          c.body
-      in
-      let rec search remaining theta image =
-        match remaining with
-        | [] ->
-            if not (resolve_checks target theta checks) then None
-            else if
-              repair_connectivity
-              && not (check_repair_connectivity target image)
-            then None
-            else Some theta
-        | l :: rest ->
-            let rec try_candidates = function
-              | [] -> None
-              | (theta', id_opt) :: more -> (
-                  let image' =
-                    match id_opt with
-                    | Some id -> IntSet.add id image
-                    | None -> image
-                  in
-                  match search rest theta' image' with
-                  | Some _ as ok -> ok
-                  | None -> try_candidates more)
-            in
-            try_candidates (candidates target budget theta l)
-      in
       try
-        match search gens theta0 IntSet.empty with
+        match search_exhaustive target budget ~repair_connectivity c theta0 with
         | Some theta -> Subsumed theta
         | None -> Not_subsumed
       with Exhausted -> Budget_exhausted)

@@ -13,7 +13,7 @@
     [Neq] when their classes differ. This mirrors the "additional testings"
     for clauses with equality and similarity the paper references (§4.2).
 
-    Two search engines decide the relation (see [docs/SUBSUMPTION.md]):
+    Three search engines decide the relation (see [docs/SUBSUMPTION.md]):
 
     - [`Csp] (default): a CSP-style matching kernel. Setup interns C's
       variables and D's terms to dense ints and precomputes per generative
@@ -26,8 +26,13 @@
       substitutions with dynamic component decomposition and
       most-constrained-literal selection — kept as the rollout fallback
       and bench baseline.
+    - [`Sat]: ground instantiation into an incremental CDCL solver
+      ({!Sat_core}/{!Sat_subsumption}) — selector variables per
+      (literal, candidate) pairing, the solver reused across the ARMG
+      chain via per-literal assumption variables so conflict clauses
+      learned refuting one candidate prune every later one.
 
-    Both are bounded by a step budget for pathological inputs and decide
+    All are bounded by a step budget for pathological inputs and decide
     the same relation (property-tested against each other and against
     {!subsumes_naive}). *)
 
@@ -37,16 +42,22 @@ type outcome =
   | Budget_exhausted
 
 (** Search engine selection. *)
-type engine = [ `Csp | `Backtrack ]
+type engine = [ `Csp | `Backtrack | `Sat ]
 
 (** [default_engine ()] reads [DLEARN_SUBSUMPTION] ([backtrack]/[bt]/[0]/
-    [off] select [`Backtrack]; anything else, including unset, selects
-    [`Csp]). Read per call so a test matrix can flip it. *)
+    [off] select [`Backtrack], [sat] selects [`Sat]; anything else,
+    including unset, selects [`Csp]). Read per call so a test matrix can
+    flip it. *)
 val default_engine : unit -> engine
 
 val engine_of_string : string -> engine option
 
 val engine_name : engine -> string
+
+(** Every engine with its canonical name — the single source of truth
+    the CLI enum and help text render from, so the surfaces cannot
+    drift. *)
+val all_engines : (string * engine) list
 
 (** A target clause D preprocessed for matching: literal indexes by
     predicate and origin, the restriction-literal closure, and the repair

@@ -417,6 +417,62 @@ let subsumption_tests =
     Alcotest.test_case "clause subsumes itself (with repairs)" `Quick (fun () ->
         let c = example_3_3 () in
         Alcotest.(check bool) "reflexive" true (Subsumption.subsumes_bool c c));
+    Alcotest.test_case "connectivity failure backtracks into the search"
+      `Quick (fun () ->
+        (* Found by the four-engine differential (qcheck seed 6287191):
+           C's only body atom maps onto p("a","d") first — an image the
+           repair-connectivity condition rejects, because "d" is
+           attached to an unmapped repair — but mapping onto p("e",mx)
+           instead satisfies everything. The decomposed engines used to
+           post-filter connectivity on their first witness and answer
+           Not_subsumed; the condition must backtrack the search. *)
+        let c =
+          Clause.make
+            ~head:(rel "t" [ v "my" ])
+            [ Literal.Neq (v "mz", v "mx"); rel "p" [ v "mz"; v "mx" ] ]
+        in
+        let d =
+          let sim = Literal.Sim (s "d", s "b") in
+          let repair subject replacement =
+            Literal.Repair
+              {
+                origin = Literal.From_md "gm";
+                group = 9;
+                cond = [ Cond.Csim (s "d", s "b") ];
+                subject;
+                replacement;
+                drops = [ sim ];
+              }
+          in
+          Clause.make
+            ~head:(rel "t" [ v "mx" ])
+            [
+              rel "p" [ s "a"; s "d" ];
+              rel "p" [ s "e"; v "mx" ];
+              Literal.Neq (s "d", s "e");
+              Literal.Eq (s "e", s "a");
+              rel "p" [ v "my"; s "a" ];
+              sim;
+              repair (s "d") (v "gvx");
+              repair (s "b") (v "gvy");
+              Literal.Eq (v "gvx", v "gvy");
+            ]
+        in
+        List.iter
+          (fun engine ->
+            let name = Subsumption.engine_name engine in
+            Alcotest.(check bool)
+              (name ^ ": subsumed despite first-witness rejection") true
+              (match
+                 Subsumption.subsumes ~engine ~repair_connectivity:true c d
+               with
+              | Subsumption.Subsumed _ -> true
+              | _ -> false))
+          [ `Csp; `Backtrack; `Sat ];
+        Alcotest.(check bool) "naive agrees" true
+          (match Subsumption.subsumes_naive ~repair_connectivity:true c d with
+          | Subsumption.Subsumed _ -> true
+          | _ -> false));
     Alcotest.test_case "equivalence modulo body order" `Quick (fun () ->
         let c1 =
           Clause.make
@@ -795,7 +851,9 @@ let qcheck_tests =
            | a, b -> a = b));
     QCheck_alcotest.to_alcotest
       (QCheck.Test.make
-         ~name:"csp, backtrack and naive engines agree (budgets, connectivity)"
+         ~name:
+           "csp, backtrack, sat and naive engines agree (budgets, \
+            connectivity)"
          ~count:500
          (QCheck.triple mixed_clause_arb mixed_clause_arb QCheck.bool)
          (fun (c, d, rc) ->
@@ -814,6 +872,8 @@ let qcheck_tests =
                Subsumption.subsumes ~engine:`Csp ~budget
                  ~repair_connectivity:rc c d;
                Subsumption.subsumes ~engine:`Backtrack ~budget
+                 ~repair_connectivity:rc c d;
+               Subsumption.subsumes ~engine:`Sat ~budget
                  ~repair_connectivity:rc c d;
                Subsumption.subsumes_naive ~budget ~repair_connectivity:rc c d;
              ]
