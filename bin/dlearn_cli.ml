@@ -177,6 +177,9 @@ let learn_cmd =
       match trace with Some t -> Experiment.with_trace w (Some t) | None -> w
     in
     let system = system_of_string system in
+    (* Spans short-circuit by default; the report needs their histograms
+       fed throughout the run. *)
+    if report then Dlearn_obs.Obs.set_metrics true;
     Printf.printf "%s\n" (Workload.describe w);
     let r = Experiment.evaluate ~folds system w in
     Printf.printf "%s: F1=%.2f (+/-%.2f) precision=%.2f recall=%.2f %.1fs/fold\n"

@@ -1,6 +1,7 @@
 open Dlearn_relation
 open Dlearn_constraints
 open Dlearn_logic
+module Obs = Dlearn_obs.Obs
 
 type mode =
   | Variable
@@ -99,91 +100,129 @@ let gather (ctx : Context.t) rng (e : Tuple.t) =
           (fun id -> ignore (add_tuple rel id))
           (shuffle rng !candidates))
       (Database.relations db);
-    (* Similarity search: ψ_{B ≈ M}(R) per MD, in both directions. *)
-    List.iter
-      (fun (md : Md.t) ->
-        let spec = Md.effective_spec md config.Config.sim in
-        let left_rel = Database.find db md.Md.left_rel in
-        let right_rel = Database.find db md.Md.right_rel in
-        let ls = Relation.schema left_rel and rs = Relation.schema right_rel in
-        let compared =
-          List.map
-            (fun (a, b) -> (Schema.position ls a, Schema.position rs b))
-            md.Md.compared
+    (* Similarity search: ψ_{B ≈ M}(R) per MD, in both directions.
+
+       Match discovery — the [Sim_index] query through the first compared
+       attribute plus verification of the remaining pairs — is pure over
+       the database, so it fans out across the pool, one work item per
+       (MD, driver tuple, direction). The stateful application (sample
+       caps, the per-driver km budget, site recording) then replays the
+       discovered matches sequentially in exactly the order the old
+       nested loops used — MD, then driver tuple, then left/right — so
+       I_e and the site list are identical to the sequential build. *)
+    let md_info =
+      Array.of_list
+        (List.map
+           (fun (md : Md.t) ->
+             let spec = Md.effective_spec md config.Config.sim in
+             let left_rel = Database.find db md.Md.left_rel in
+             let right_rel = Database.find db md.Md.right_rel in
+             let ls = Relation.schema left_rel
+             and rs = Relation.schema right_rel in
+             let compared =
+               List.map
+                 (fun (a, b) -> (Schema.position ls a, Schema.position rs b))
+                 md.Md.compared
+             in
+             (md, spec, left_rel, right_rel, compared))
+           ctx.Context.mds)
+    in
+    let record_site (md : Md.t) left_id right_id =
+      let key = (md.Md.id, left_id, right_id) in
+      if not (Hashtbl.mem site_seen key) then begin
+        Hashtbl.add site_seen key ();
+        sites := { site_md = md; left_id; right_id } :: !sites
+      end
+    in
+    (* A driver tuple on one side searches the other side through the
+       first compared attribute, then the remaining pairs are verified.
+       Returns the matching other-side ids in deterministic candidate
+       order; read-only. *)
+    let discover (mi, drive_left, (drv_rel, drv_id)) =
+      let md, spec, left_rel, right_rel, compared = md_info.(mi) in
+      let drv_name = if drive_left then md.Md.left_rel else md.Md.right_rel in
+      if not (String.equal drv_rel drv_name) then []
+      else begin
+        let other_name, other_rel, drv_pos, other_pos =
+          if drive_left then
+            ( md.Md.right_rel,
+              right_rel,
+              fst (List.hd compared),
+              snd (List.hd compared) )
+          else
+            ( md.Md.left_rel,
+              left_rel,
+              snd (List.hd compared),
+              fst (List.hd compared) )
         in
-        let record_site left_id right_id =
-          let key = (md.Md.id, left_id, right_id) in
-          if not (Hashtbl.mem site_seen key) then begin
-            Hashtbl.add site_seen key ();
-            sites := { site_md = md; left_id; right_id } :: !sites
-          end
-        in
-        (* A driver tuple on one side searches the other side through the
-           first compared attribute, then the remaining pairs are
-           verified. *)
-        let search ~drive_left (drv_rel, drv_id) =
-          let drv_name = if drive_left then md.Md.left_rel else md.Md.right_rel in
-          if String.equal drv_rel drv_name then begin
-            (* At most km match sites per driver tuple: km is the number of
-               top matches considered (§6.2.1). *)
-            let sites_left = ref config.Config.km in
-            let other_name, other_rel, drv_pos, other_pos =
-              if drive_left then
-                (md.Md.right_rel, right_rel, fst (List.hd compared), snd (List.hd compared))
-              else
-                (md.Md.left_rel, left_rel, snd (List.hd compared), fst (List.hd compared))
-            in
-            let driver =
-              Relation.get (Database.find db drv_rel) drv_id
-            in
-            let v1 = Tuple.get driver drv_pos in
-            if not (Value.is_null v1 || Md.Merge.is_merged v1) then begin
-              let candidate_values =
-                if config.Config.exact_matching then
-                  if Relation.holds_value other_rel other_pos v1 then [ v1 ]
-                  else []
-                else
-                  Dlearn_similarity.Sim_index.query
-                    (Context.sim_index ctx other_name other_pos)
-                    ~km:config.Config.km ~threshold:spec.Md.threshold
-                    (Value.as_string v1)
-                  |> List.map (fun (s, _) -> Value.String s)
-              in
-              List.iter
-                (fun v2 ->
-                  List.iter
-                    (fun other_id ->
-                      let other_tuple = Relation.get other_rel other_id in
-                      let all_similar =
-                        List.for_all
-                          (fun (pl, pr) ->
-                            let a, b =
-                              if drive_left then
-                                (Tuple.get driver pl, Tuple.get other_tuple pr)
-                              else
-                                (Tuple.get other_tuple pl, Tuple.get driver pr)
-                            in
-                            if config.Config.exact_matching then Value.equal a b
-                            else Md.similar spec a b)
-                          compared
+        let driver = Relation.get (Database.find db drv_rel) drv_id in
+        let v1 = Tuple.get driver drv_pos in
+        if Value.is_null v1 || Md.Merge.is_merged v1 then []
+        else begin
+          let candidate_values =
+            if config.Config.exact_matching then
+              if Relation.holds_value other_rel other_pos v1 then [ v1 ]
+              else []
+            else
+              Dlearn_similarity.Sim_index.query
+                (Context.sim_index ctx other_name other_pos)
+                ~km:config.Config.km ~threshold:spec.Md.threshold
+                (Value.as_string v1)
+              |> List.map (fun (s, _) -> Value.String s)
+          in
+          List.concat_map
+            (fun v2 ->
+              List.filter
+                (fun other_id ->
+                  let other_tuple = Relation.get other_rel other_id in
+                  List.for_all
+                    (fun (pl, pr) ->
+                      let a, b =
+                        if drive_left then
+                          (Tuple.get driver pl, Tuple.get other_tuple pr)
+                        else (Tuple.get other_tuple pl, Tuple.get driver pr)
                       in
-                      if !sites_left > 0 && all_similar
-                         && add_tuple other_name other_id then begin
-                        decr sites_left;
-                        if drive_left then record_site drv_id other_id
-                        else record_site other_id drv_id
-                      end)
-                    (Relation.select_eq other_rel other_pos v2))
-                candidate_values
-            end
-          end
+                      if config.Config.exact_matching then Value.equal a b
+                      else Md.similar spec a b)
+                    compared)
+                (Relation.select_eq other_rel other_pos v2))
+            candidate_values
+        end
+      end
+    in
+    let work =
+      Array.of_list
+        (List.concat
+           (List.mapi
+              (fun mi _ ->
+                List.concat_map
+                  (fun drv -> [ (mi, true, drv); (mi, false, drv) ])
+                  tuples)
+              ctx.Context.mds))
+    in
+    let found =
+      Obs.span "learn.sim_search"
+        ~args:[ ("queries", string_of_int (Array.length work)) ]
+        (fun () -> Dlearn_parallel.Pool.map (Context.pool ctx) discover work)
+    in
+    Array.iteri
+      (fun w (mi, drive_left, (_, drv_id)) ->
+        let md, _, _, _, _ = md_info.(mi) in
+        let other_name =
+          if drive_left then md.Md.right_rel else md.Md.left_rel
         in
+        (* At most km match sites per driver tuple: km is the number of
+           top matches considered (§6.2.1). *)
+        let sites_left = ref config.Config.km in
         List.iter
-          (fun drv ->
-            search ~drive_left:true drv;
-            search ~drive_left:false drv)
-          tuples)
-      ctx.Context.mds
+          (fun other_id ->
+            if !sites_left > 0 && add_tuple other_name other_id then begin
+              decr sites_left;
+              if drive_left then record_site md drv_id other_id
+              else record_site md other_id drv_id
+            end)
+          found.(w))
+      work
   done;
   { order = List.rev !order; sites = List.rev !sites }
 

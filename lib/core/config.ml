@@ -22,7 +22,6 @@ type t = {
   incremental_coverage : bool;
   normalize_clauses : bool;
   subsumption_engine : Dlearn_logic.Subsumption.engine;
-  parallel_min_batch : int;
   trace : string option;
   seed : int;
 }
@@ -94,7 +93,6 @@ let default ~target =
     incremental_coverage = default_incremental ();
     normalize_clauses = default_normalize ();
     subsumption_engine = Dlearn_logic.Subsumption.default_engine ();
-    parallel_min_batch = 16;
     trace = default_trace ();
     seed = 42;
   }

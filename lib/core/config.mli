@@ -68,10 +68,6 @@ type t = {
           reference backtracking search, [`Sat] the incremental CDCL
           ground encoding. All learn the identical definition — see
           docs/SUBSUMPTION.md *)
-  parallel_min_batch : int;
-      (** batches smaller than this stay on the sequential path even when
-          [num_domains > 1]: fan-out overhead dominates for tiny example
-          sets (see BENCH_coverage.json's imdb1 replay) *)
   trace : string option;
       (** when set, [Experiment.evaluate] records the run and writes a
           Chrome trace-event JSON (Perfetto-loadable) to this path;
@@ -89,10 +85,11 @@ type t = {
     disable it); [subsumption_engine] defaults to
     [`Csp], overridable through [DLEARN_SUBSUMPTION] ([backtrack]/[bt]/
     [0]/[off] select the backtracking engine, [sat] the CDCL ground
-    encoding); [parallel_min_batch]
-    defaults to 16; [trace] defaults to the [DLEARN_TRACE] path when that
+    encoding); [trace] defaults to the [DLEARN_TRACE] path when that
     variable is set and non-empty, [None] otherwise. All environment
-    variables read at each call. *)
+    variables read at each call. Whether a parallel batch actually fans
+    out is no longer a config knob: the pool's adaptive cost model
+    decides per batch (see docs/PARALLELISM.md). *)
 val default : target:Dlearn_relation.Schema.t -> t
 
 val pp : Format.formatter -> t -> unit

@@ -252,22 +252,16 @@ let covers_positive_cfd_split ?(prefilter = true) ctx prepared e =
          cas
   end
 
-(* Fanning a batch out over the pool only pays off past a certain size:
-   the imdb1 replay in BENCH_coverage.json ran at 0.42x under the pool
-   because its example set is tiny. Below the configured threshold the
-   batch predicates stay on the plain sequential path — the results are
-   identical either way. *)
-let small_batch ctx n = n < ctx.Context.config.Config.parallel_min_batch
-
+(* Whether a batch actually fans out is the pool's call now: its adaptive
+   cost model probes the first items inline and keeps cheap batches on
+   the submitting domain (the imdb1 replay in BENCH_coverage.json once
+   ran at 0.42x because tiny batches paid full fan-out overhead). The
+   results are identical either way. *)
 let covers_positive_batch ctx prepared es =
-  if small_batch ctx (List.length es) then
-    List.map (covers_positive ctx prepared) es
-  else Pool.map_list (Context.pool ctx) (covers_positive ctx prepared) es
+  Pool.map_list (Context.pool ctx) (covers_positive ctx prepared) es
 
 let covers_negative_batch ctx prepared es =
-  if small_batch ctx (List.length es) then
-    List.map (covers_negative ctx prepared) es
-  else Pool.map_list (Context.pool ctx) (covers_negative ctx prepared) es
+  Pool.map_list (Context.pool ctx) (covers_negative ctx prepared) es
 
 (* ------------------------------------------------------------------ *)
 (* Incremental engine: dense-id verdict bitsets, cross-seed cache,
@@ -325,20 +319,7 @@ let resolve ctx prepared ~negative ~assume tuples =
         let pred = if negative then covers_negative else covers_positive in
         let packed =
           let p i = pred ctx prepared (snd residue_arr.(i)) in
-          if small_batch ctx nres then begin
-            (* Same byte-aligned packing as [Pool.fill]: bit [i land 7] of
-               byte [i lsr 3]. *)
-            let buf = Bytes.make ((nres + 7) / 8) '\000' in
-            for i = 0 to nres - 1 do
-              if p i then
-                Bytes.set buf (i lsr 3)
-                  (Char.chr
-                     (Char.code (Bytes.get buf (i lsr 3))
-                     lor (1 lsl (i land 7))))
-            done;
-            buf
-          end
-          else Pool.fill (Context.pool ctx) ~n:nres p
+          Pool.fill (Context.pool ctx) ~n:nres p
         in
         bump stats.Context.tested nres;
         let tested_ids = ref [] and covered_ids = ref [] in
@@ -460,11 +441,7 @@ let coverage ctx prepared ~pos ~neg =
     (count_ids pc pids, count_ids nc nids)
   end
   else begin
-    let count pred es =
-      if small_batch ctx (List.length es) then
-        List.fold_left (fun acc e -> if pred e then acc + 1 else acc) 0 es
-      else Pool.filter_count_list (Context.pool ctx) pred es
-    in
+    let count pred es = Pool.filter_count_list (Context.pool ctx) pred es in
     let p = count (covers_positive ctx prepared) pos in
     let n = count (covers_negative ctx prepared) neg in
     (p, n)

@@ -54,10 +54,17 @@ let refine ctx ~uncovered ~neg clause =
       sample ctx.Context.rng config.Config.sample_positives uncovered
     in
     let candidates =
+      (* ARMG candidates are independent per sampled positive (the ground
+         entry, subsumption target and beam search are all read-only over
+         the context), so generation fans out across the pool. [map_list]
+         preserves input order, so the arrival indexes — and therefore
+         every downstream tie-break — match the sequential path. *)
       let raw =
         Obs.span "learn.armg" (fun () ->
-            List.filter_map (fun e' -> Generalization.armg ctx clause e')
+            Dlearn_parallel.Pool.map_list (Context.pool ctx)
+              (fun e' -> Generalization.armg ctx clause e')
               sample_pos
+            |> List.filter_map Fun.id
             |> List.filter (fun c -> not (Clause.equal c clause)))
       in
       (* Distinct sampled positives often yield the same generalisation;

@@ -167,15 +167,35 @@ let recording_flag = Atomic.make false
 let trace_start_ns = Atomic.make 0
 let recording () = Atomic.get recording_flag
 
+(* Spans are pay-for-what-you-use: with neither span metrics nor trace
+   recording switched on, [span] must cost nothing beyond calling its
+   closure. [active_flag] is the single flag producers read on the fast
+   path; it is refreshed whenever either input flag changes. *)
+let metrics_flag = Atomic.make false
+let active_flag = Atomic.make false
+
+let refresh_active () =
+  Atomic.set active_flag (Atomic.get metrics_flag || Atomic.get recording_flag)
+
+let set_metrics on =
+  Atomic.set metrics_flag on;
+  refresh_active ()
+
+let metrics_enabled () = Atomic.get metrics_flag
+let active () = Atomic.get active_flag
+
 let clear_events () =
   Mutex.protect buffers_m (fun () -> List.iter (fun b -> b.evs <- []) !buffers)
 
 let start_recording () =
   clear_events ();
   Atomic.set trace_start_ns (now_ns ());
-  Atomic.set recording_flag true
+  Atomic.set recording_flag true;
+  refresh_active ()
 
-let stop_recording () = Atomic.set recording_flag false
+let stop_recording () =
+  Atomic.set recording_flag false;
+  refresh_active ()
 
 let push_event ev =
   let b = Domain.DLS.get local_buffer in
@@ -192,7 +212,7 @@ let emit_event ?(args = []) ~name ~start_ns ~dur_ns () =
         ev_tid = (Domain.self () :> int);
       }
 
-let span ?(args = []) name f =
+let span_slow ~args name f =
   let h = histogram name in
   let t0 = now_ns () in
   match f () with
@@ -209,6 +229,12 @@ let span ?(args = []) name f =
         ~args:(("exception", Printexc.to_string e) :: args)
         ~name ~start_ns:t0 ~dur_ns:dt ();
       Printexc.raise_with_backtrace e bt
+
+(* The common case — no report requested, no trace recording — must not
+   pay for timestamps, DLS lookups, or event argument lists: one atomic
+   read, then the bare closure call. *)
+let span ?(args = []) name f =
+  if Atomic.get active_flag then span_slow ~args name f else f ()
 
 (* ------------------------------------------------------------------ *)
 (* Chrome trace-event export.                                          *)

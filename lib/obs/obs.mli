@@ -17,11 +17,14 @@
     Values read while writers are running may be a few updates stale;
     totals are exact once the writers quiesce.
 
-    {b Spans} wrap a stage of work: [span ~name f] times [f], feeds the
-    duration into the histogram registered under [name], and — only while
-    a recording is active — appends a trace event carrying the domain id
-    and wall-clock timestamps. Spans nest freely (trace viewers infer
-    nesting from containment) and re-raise exceptions after recording.
+    {b Spans} wrap a stage of work: while spans are {!active} (metrics
+    switched on via {!set_metrics}, or a recording in progress),
+    [span ~name f] times [f], feeds the duration into the histogram
+    registered under [name], and — only while a recording is active —
+    appends a trace event carrying the domain id and wall-clock
+    timestamps. When spans are inactive the call is a bare [f ()] behind
+    one atomic load. Spans nest freely (trace viewers infer nesting from
+    containment) and re-raise exceptions after recording.
 
     Tracing never changes results: the learner's output is byte-identical
     with recording on and off.
@@ -83,12 +86,31 @@ val histogram_snapshot : histogram -> histogram_snapshot
 
 (** {1 Spans} *)
 
-(** [span ~args name f] runs [f ()], feeds its duration into the
-    histogram registered under [name] and, while recording, appends a
-    trace event ([args] become the event's ["args"] object). Exceptions
-    are recorded (an ["exception"] arg is added) and re-raised with their
-    backtrace. *)
+(** [span ~args name f] runs [f ()] and, while spans are {!active},
+    feeds its duration into the histogram registered under [name] and —
+    while additionally recording — appends a trace event ([args] become
+    the event's ["args"] object). Exceptions are recorded (an
+    ["exception"] arg is added) and re-raised with their backtrace.
+
+    When spans are {b not} active (no {!set_metrics}, no recording) the
+    call short-circuits to a bare [f ()]: one atomic load, no
+    timestamps, no histogram lookup, no event allocation. Consumers of
+    span histograms ({!report}, benches, tests) must therefore switch
+    metrics on first. *)
 val span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+(** [set_metrics true] makes spans feed their histograms even when no
+    trace recording is active — required before {!report} /
+    {!report_json} can show span timings. Off by default. *)
+val set_metrics : bool -> unit
+
+val metrics_enabled : unit -> bool
+
+(** [active ()] is [true] iff spans currently do work: metrics are on or
+    a recording is in progress. A single atomic load, exposed so other
+    producers (e.g. the pool's participate histogram) can share the same
+    fast-path gate. *)
+val active : unit -> bool
 
 (** [emit_event ~name ~start_ns ~dur_ns ()] appends a trace event for
     work timed by the caller (used where the timing already exists, e.g.

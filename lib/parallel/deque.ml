@@ -1,0 +1,51 @@
+(* A work-stealing deque specialised to the pool's job shape: every job's
+   chunk indexes are known up front, so each deque is a contiguous integer
+   range [top, bottom) published once and only ever consumed — the owner
+   pops from [bottom] (LIFO), thieves steal from [top] (FIFO).
+
+   This is the Chase–Lev deque minus the circular buffer: with no pushes
+   after publication there is no growth, no wrap-around, and no ABA — the
+   two indexes carry the whole state. Emptiness is monotone once the range
+   is drained, which is what lets pool participants exit after a single
+   clean all-empty scan. *)
+
+type t = { top : int Atomic.t; bottom : int Atomic.t }
+
+type steal_result =
+  | Stolen of int
+  | Empty
+  | Lost
+
+let make lo hi =
+  let lo = min lo hi in
+  { top = Atomic.make lo; bottom = Atomic.make hi }
+
+let pop d =
+  let b = Atomic.get d.bottom - 1 in
+  Atomic.set d.bottom b;
+  let t = Atomic.get d.top in
+  if b > t then Some b
+  else if b = t then begin
+    (* Last element: race any thief for it by advancing [top]. Whether we
+       win or lose, the deque ends in the canonical empty state
+       top = bottom = t + 1. *)
+    let won = Atomic.compare_and_set d.top t (t + 1) in
+    Atomic.set d.bottom (t + 1);
+    if won then Some b else None
+  end
+  else begin
+    (* Already empty; restore the canonical empty state. *)
+    Atomic.set d.bottom t;
+    None
+  end
+
+let steal d =
+  let t = Atomic.get d.top in
+  let b = Atomic.get d.bottom in
+  if t >= b then Empty
+  else if Atomic.compare_and_set d.top t (t + 1) then Stolen t
+  else Lost
+
+let is_empty d = Atomic.get d.top >= Atomic.get d.bottom
+
+let size d = max 0 (Atomic.get d.bottom - Atomic.get d.top)

@@ -1,0 +1,42 @@
+(** Work-stealing deque over a fixed integer range.
+
+    A deque holds the chunk indexes [\[lo, hi)] it was created with and
+    only shrinks: the owner takes from the high end with {!pop} (LIFO),
+    thieves take from the low end with {!steal} (FIFO, lock-free CAS).
+    Nothing is ever pushed after creation, which removes the circular
+    buffer, growth, and ABA concerns of the general Chase–Lev deque while
+    keeping its owner/thief protocol for the last-element race.
+
+    Invariants:
+    - every index in [\[lo, hi)] is handed out exactly once, across all
+      {!pop} and {!steal} calls combined;
+    - once {!is_empty} returns [true] the deque stays empty forever
+      (emptiness is monotone), so a scanner that sees every deque empty
+      in one clean pass may safely exit. *)
+
+type t
+
+type steal_result =
+  | Stolen of int  (** Claimed this index. *)
+  | Empty  (** Nothing left; permanently so. *)
+  | Lost  (** CAS lost to a concurrent claimer — retry if still hungry. *)
+
+val make : int -> int -> t
+(** [make lo hi] is a deque holding [lo .. hi - 1]. [hi <= lo] makes an
+    empty deque. *)
+
+val pop : t -> int option
+(** Owner-side LIFO removal. Must only be called from one thread at a
+    time (the deque's owner); safe concurrently with any number of
+    {!steal}s. *)
+
+val steal : t -> steal_result
+(** Thief-side FIFO removal; safe from any thread, including concurrently
+    with {!pop} and other {!steal}s. *)
+
+val is_empty : t -> bool
+(** Snapshot emptiness test. [true] is stable (monotone); [false] may be
+    stale by the time the caller acts on it. *)
+
+val size : t -> int
+(** Number of indexes not yet claimed (racy snapshot). *)

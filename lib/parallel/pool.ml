@@ -3,13 +3,77 @@ let src = Logs.Src.create "dlearn.pool" ~doc:"Domain pool counters"
 module Log = (val Logs.src_log src : Logs.LOG)
 module Obs = Dlearn_obs.Obs
 
-(* One batch of chunks. [next] hands out chunk indexes, [completed] counts
-   finished ones; the first exception wins the [failed] slot and is
-   re-raised by the submitter once the batch drains. *)
+(* ------------------------------------------------------------------ *)
+(* Cost model.
+
+   Every batch starts by running items inline on the submitting domain
+   while the clock runs. The measured per-item cost decides, per batch:
+
+   - finish inline when the predicted remaining work is below
+     [fanout_threshold_ns] — tiny batches never touch a mutex, a
+     condition variable, or another domain;
+   - otherwise fan out, with the chunk size derived from
+     [remaining / (domains * chunking)] but floored so a chunk is worth
+     at least [min_chunk_ns] of work (cheap items get big chunks, so
+     per-chunk bookkeeping never dominates).
+
+   The knobs are process-wide atomics so tests can force either path;
+   [ewma_item_ns] is a feedback hook fed by every measured batch and
+   exposed through {!last_item_cost_ns} for observability. *)
+
+(* Environment overrides (DLEARN_POOL_FANOUT_NS / MIN_CHUNK_NS /
+   PROBE_NS) seed the defaults: an ops knob for odd hosts, and the way
+   to record a demonstrative fan-out trace on a machine where the model
+   would otherwise keep everything inline (FANOUT_NS=0 forces fan-out,
+   skipping both the probe and the spare-parallelism check). *)
+let env_default name fallback =
+  match Sys.getenv_opt name with
+  | None -> fallback
+  | Some s -> ( try int_of_string (String.trim s) with Failure _ -> fallback)
+
+let default_fanout_threshold_ns = env_default "DLEARN_POOL_FANOUT_NS" 100_000
+let default_min_chunk_ns = env_default "DLEARN_POOL_MIN_CHUNK_NS" 20_000
+let default_probe_budget_ns = env_default "DLEARN_POOL_PROBE_NS" 10_000
+let fanout_threshold_ns = Atomic.make default_fanout_threshold_ns
+let min_chunk_ns = Atomic.make default_min_chunk_ns
+let probe_budget_ns = Atomic.make default_probe_budget_ns
+let ewma_item_ns = Atomic.make 0
+
+let set_cost_model ?fanout_threshold ?min_chunk ?probe_budget () =
+  Option.iter (Atomic.set fanout_threshold_ns) fanout_threshold;
+  Option.iter (Atomic.set min_chunk_ns) min_chunk;
+  Option.iter (Atomic.set probe_budget_ns) probe_budget
+
+let reset_cost_model () =
+  Atomic.set fanout_threshold_ns default_fanout_threshold_ns;
+  Atomic.set min_chunk_ns default_min_chunk_ns;
+  Atomic.set probe_budget_ns default_probe_budget_ns
+
+let last_item_cost_ns () = Atomic.get ewma_item_ns
+
+let note_item_cost per_item =
+  let prev = Atomic.get ewma_item_ns in
+  let next = if prev = 0 then per_item else (3 * prev + per_item) / 4 in
+  Atomic.set ewma_item_ns next
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+(* ------------------------------------------------------------------ *)
+(* Jobs.
+
+   A job covers items [base, total) of the caller's batch, split into
+   [num_chunks] fixed-size chunks. Chunk indexes are dealt up front into
+   one work-stealing deque per participant slot; a participant drains its
+   own deque LIFO and then steals FIFO from the others. [completed]
+   counts finished chunks; the first exception wins the [failed] slot and
+   is re-raised by the submitter once the batch drains. *)
 type job = {
-  run : int -> unit;
+  run : int -> int -> unit; (* [run lo hi] processes items [lo, hi) *)
+  base : int;
+  total : int;
+  chunk_size : int;
   num_chunks : int;
-  next : int Atomic.t;
+  deques : Deque.t array; (* one per slot; slot 0 = submitter *)
   completed : int Atomic.t;
   failed : (exn * Printexc.raw_backtrace) option Atomic.t;
 }
@@ -17,6 +81,7 @@ type job = {
 type t = {
   size : int; (* participating domains, including the submitter *)
   mutable workers : unit Domain.t list;
+  mutable spawned : bool; (* workers exist; guarded by [m] *)
   m : Mutex.t; (* guards job/generation/stopping *)
   cond : Condition.t; (* job arrival and shutdown *)
   done_m : Mutex.t;
@@ -33,7 +98,10 @@ type t = {
   tasks_c : Obs.counter;
   chunks_c : Obs.counter;
   items_c : Obs.counter;
+  steals_c : Obs.counter;
+  inline_c : Obs.counter;
   participate_h : Obs.histogram;
+  chunk_size_h : Obs.histogram;
   busy : float array; (* slot 0 = submitter, 1.. = workers *)
 }
 
@@ -42,6 +110,8 @@ type stats = {
   tasks : int;
   chunks : int;
   items : int;
+  steals : int;
+  inline_batches : int;
   busy_seconds : float array;
 }
 
@@ -50,45 +120,71 @@ type stats = {
 let inside : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
 let in_worker () = !(Domain.DLS.get inside)
 
-(* Claim and run chunks until the batch is drained. Runs in workers and in
-   the submitting domain alike. *)
+let run_chunk pool job c =
+  let lo = job.base + (c * job.chunk_size) in
+  let hi = min job.total (lo + job.chunk_size) in
+  (try job.run lo hi
+   with e ->
+     let bt = Printexc.get_raw_backtrace () in
+     ignore (Atomic.compare_and_set job.failed None (Some (e, bt))));
+  Obs.incr pool.chunks_c;
+  Obs.add pool.items_c (hi - lo);
+  let finished = 1 + Atomic.fetch_and_add job.completed 1 in
+  if finished = job.num_chunks then begin
+    Mutex.lock pool.done_m;
+    Condition.broadcast pool.done_c;
+    Mutex.unlock pool.done_m
+  end
+
+(* Drain own deque LIFO, then steal FIFO from the others. Exit only after
+   one clean scan in which every deque reported Empty and no CAS was
+   lost — emptiness is monotone after publication, so a clean scan means
+   the batch has no unclaimed chunks left. Runs in workers and in the
+   submitting domain alike. *)
 let participate pool job slot =
   let t0 = Unix.gettimeofday () in
   let flag = Domain.DLS.get inside in
   let previously = !flag in
   flag := true;
-  let rec claim () =
-    let i = Atomic.fetch_and_add job.next 1 in
-    if i < job.num_chunks then begin
-      (try job.run i
-       with e ->
-         let bt = Printexc.get_raw_backtrace () in
-         ignore (Atomic.compare_and_set job.failed None (Some (e, bt))));
-      Obs.incr pool.chunks_c;
-      let finished = 1 + Atomic.fetch_and_add job.completed 1 in
-      if finished = job.num_chunks then begin
-        Mutex.lock pool.done_m;
-        Condition.broadcast pool.done_c;
-        Mutex.unlock pool.done_m
-      end;
-      claim ()
-    end
+  let own = job.deques.(slot) in
+  let nd = Array.length job.deques in
+  let rec drain_own () =
+    match Deque.pop own with
+    | Some c ->
+        run_chunk pool job c;
+        drain_own ()
+    | None -> steal_scan ()
+  and steal_scan () =
+    let progressed = ref false in
+    let contended = ref false in
+    for k = 1 to nd - 1 do
+      match Deque.steal job.deques.((slot + k) mod nd) with
+      | Deque.Stolen c ->
+          Obs.incr pool.steals_c;
+          run_chunk pool job c;
+          progressed := true
+      | Deque.Lost -> contended := true
+      | Deque.Empty -> ()
+    done;
+    if !progressed || !contended then steal_scan ()
   in
-  claim ();
+  drain_own ();
   flag := previously;
   let dt = Unix.gettimeofday () -. t0 in
   pool.busy.(slot) <- pool.busy.(slot) +. dt;
-  let dt_ns = int_of_float (dt *. 1e9) in
-  Obs.observe_ns pool.participate_h dt_ns;
-  if Obs.recording () then
-    Obs.emit_event
-      ~args:[ ("slot", string_of_int slot) ]
-      ~name:"pool.participate"
-      ~start_ns:(int_of_float (t0 *. 1e9))
-      ~dur_ns:dt_ns ()
+  if Obs.active () then begin
+    let dt_ns = int_of_float (dt *. 1e9) in
+    Obs.observe_ns pool.participate_h dt_ns;
+    if Obs.recording () then
+      Obs.emit_event
+        ~args:[ ("slot", string_of_int slot) ]
+        ~name:"pool.participate"
+        ~start_ns:(int_of_float (t0 *. 1e9))
+        ~dur_ns:dt_ns ()
+  end
 
-let worker_loop pool slot =
-  let seen = ref 0 in
+let worker_loop pool slot ~generation =
+  let seen = ref generation in
   let rec loop () =
     Mutex.lock pool.m;
     while (not pool.stopping) && pool.generation = !seen do
@@ -111,6 +207,7 @@ let create ~num_domains =
     {
       size;
       workers = [];
+      spawned = false;
       m = Mutex.create ();
       cond = Condition.create ();
       done_m = Mutex.create ();
@@ -122,14 +219,29 @@ let create ~num_domains =
       tasks_c = Obs.counter (Printf.sprintf "pool.%d.tasks" size);
       chunks_c = Obs.counter (Printf.sprintf "pool.%d.chunks" size);
       items_c = Obs.counter (Printf.sprintf "pool.%d.items" size);
+      steals_c = Obs.counter (Printf.sprintf "pool.%d.steals" size);
+      inline_c = Obs.counter (Printf.sprintf "pool.%d.inline" size);
       participate_h = Obs.histogram (Printf.sprintf "pool.%d.participate" size);
+      chunk_size_h = Obs.histogram (Printf.sprintf "pool.%d.chunk_size" size);
       busy = Array.make size 0.0;
     }
   in
-  pool.workers <-
-    List.init (size - 1) (fun i ->
-        Domain.spawn (fun () -> worker_loop pool (i + 1)));
   pool
+
+(* Worker domains are spawned on the first fan-out, not at pool creation.
+   Idle domains are not free: every minor collection is a stop-the-world
+   across all spawned domains, so a pool whose batches all run inline
+   (single-core host, or uniformly tiny batches) must not tax the
+   process for workers it never uses. *)
+let ensure_workers pool =
+  Mutex.protect pool.m (fun () ->
+      if (not pool.spawned) && not pool.stopping then begin
+        pool.spawned <- true;
+        let generation = pool.generation in
+        pool.workers <-
+          List.init (pool.size - 1) (fun i ->
+              Domain.spawn (fun () -> worker_loop pool (i + 1) ~generation))
+      end)
 
 let num_domains pool = pool.size
 
@@ -139,14 +251,16 @@ let stats pool =
     tasks = Obs.value pool.tasks_c;
     chunks = Obs.value pool.chunks_c;
     items = Obs.value pool.items_c;
+    steals = Obs.value pool.steals_c;
+    inline_batches = Obs.value pool.inline_c;
     busy_seconds = Array.copy pool.busy;
   }
 
 let log_stats pool =
   let s = stats pool in
   Log.debug (fun m ->
-      m "pool[%d domains]: %d tasks, %d chunks, %d items, busy %s" s.domains
-        s.tasks s.chunks s.items
+      m "pool[%d domains]: %d tasks, %d chunks, %d items, %d steals, %d inline, busy %s"
+        s.domains s.tasks s.chunks s.items s.steals s.inline_batches
         (String.concat "/"
            (Array.to_list
               (Array.map (fun b -> Printf.sprintf "%.2fs" b) s.busy_seconds))))
@@ -170,6 +284,7 @@ let shutdown pool =
    keeps concurrent submitters (and their jobs) strictly ordered. *)
 let run_job pool job =
   Mutex.lock pool.submit_m;
+  ensure_workers pool;
   Obs.incr pool.tasks_c;
   Mutex.lock pool.m;
   pool.job <- Some job;
@@ -187,72 +302,129 @@ let run_job pool job =
   | Some (e, bt) -> Printexc.raise_with_backtrace e bt
   | None -> ()
 
-(* Chunks per participant: small enough to even out skewed item costs,
-   large enough to keep the claim counter off the hot path. *)
+(* Chunks per participant once we do fan out: small enough to even out
+   skewed item costs (stealing rebalances the rest), large enough to keep
+   per-chunk bookkeeping off the hot path. *)
 let chunking = 8
 
 let sequential pool = pool.size <= 1 || in_worker ()
 
+(* Adaptive batch runner. Items [0, start) already ran inline on the
+   caller starting at absolute time [t0]; finish items [start, n).
+   Probing continues inline until the probe budget elapses, then the
+   measured per-item cost picks inline finish vs fan-out (see the cost
+   model above). Exceptions raised while inline propagate directly; on
+   the fan-out path the first failure is re-raised after the batch
+   drains, like before. *)
+(* Hardware parallelism available to this process. A pool wider than the
+   machine still computes correctly, but fanning out past [cores] — and in
+   particular on a single-core host — can only add overhead, so the cost
+   model folds it into the fan-out verdict. *)
+let cores = lazy (Domain.recommended_domain_count ())
+
+let run_from pool ~t0 ~start run n =
+  let threshold = Atomic.get fanout_threshold_ns in
+  let i = ref start in
+  if threshold > 0 then begin
+    let deadline = t0 + Atomic.get probe_budget_ns in
+    while !i < n && now_ns () < deadline do
+      run !i (!i + 1);
+      incr i
+    done
+  end;
+  let probed = !i in
+  if probed > start then Obs.add pool.items_c (probed - start);
+  if probed < n then begin
+    let elapsed = now_ns () - t0 in
+    let per_item = if probed = 0 then 0 else max 1 (elapsed / probed) in
+    if per_item > 0 then note_item_cost per_item;
+    let remaining = n - probed in
+    if
+      threshold > 0
+      && (remaining * per_item < threshold || min pool.size (Lazy.force cores) <= 1)
+    then begin
+      Obs.incr pool.inline_c;
+      Obs.add pool.items_c remaining;
+      run probed n
+    end
+    else begin
+      let by_cost =
+        if per_item = 0 then 1 else Atomic.get min_chunk_ns / per_item
+      in
+      let chunk_size =
+        min remaining (max 1 (max (remaining / (pool.size * chunking)) by_cost))
+      in
+      let num_chunks = (remaining + chunk_size - 1) / chunk_size in
+      Obs.observe_ns pool.chunk_size_h chunk_size;
+      let per_deque = (num_chunks + pool.size - 1) / pool.size in
+      let deques =
+        Array.init pool.size (fun s ->
+            let lo = min num_chunks (s * per_deque) in
+            Deque.make lo (min num_chunks (lo + per_deque)))
+      in
+      run_job pool
+        {
+          run;
+          base = probed;
+          total = n;
+          chunk_size;
+          num_chunks;
+          deques;
+          completed = Atomic.make 0;
+          failed = Atomic.make None;
+        }
+    end
+  end
+
 let map pool f arr =
   let n = Array.length arr in
   if n = 0 then [||]
-  else if sequential pool || n < 2 then Array.map f arr
+  else if sequential pool then Array.map f arr
   else begin
-    let results = Array.make n None in
-    let chunk_size = max 1 (n / (pool.size * chunking)) in
-    let num_chunks = (n + chunk_size - 1) / chunk_size in
-    let run i =
-      let lo = i * chunk_size in
-      let hi = min n (lo + chunk_size) in
-      for j = lo to hi - 1 do
-        results.(j) <- Some (f arr.(j))
-      done;
-      Obs.add pool.items_c (hi - lo)
-    in
-    run_job pool
-      {
-        run;
-        num_chunks;
-        next = Atomic.make 0;
-        completed = Atomic.make 0;
-        failed = Atomic.make None;
-      };
-    Array.map (function Some v -> v | None -> assert false) results
+    let t0 = now_ns () in
+    let r0 = f arr.(0) in
+    let results = Array.make n r0 in
+    if n > 1 then begin
+      let run lo hi =
+        for j = lo to hi - 1 do
+          results.(j) <- f arr.(j)
+        done
+      in
+      run_from pool ~t0 ~start:1 run n
+    end;
+    results
   end
 
-let iter pool f arr = ignore (map pool (fun x -> f x) arr)
+let iter pool f arr =
+  let n = Array.length arr in
+  let run lo hi =
+    for j = lo to hi - 1 do
+      f arr.(j)
+    done
+  in
+  if n = 0 then ()
+  else if sequential pool then run 0 n
+  else run_from pool ~t0:(now_ns ()) ~start:0 run n
 
 let filter_count pool p arr =
   let n = Array.length arr in
-  if sequential pool || n < 2 then
+  if sequential pool then
     Array.fold_left (fun acc x -> if p x then acc + 1 else acc) 0 arr
   else begin
     let total = Atomic.make 0 in
-    let chunk_size = max 1 (n / (pool.size * chunking)) in
-    let num_chunks = (n + chunk_size - 1) / chunk_size in
-    let run i =
-      let lo = i * chunk_size in
-      let hi = min n (lo + chunk_size) in
+    let run lo hi =
       let count = ref 0 in
       for j = lo to hi - 1 do
         if p arr.(j) then incr count
       done;
-      ignore (Atomic.fetch_and_add total !count);
-      Obs.add pool.items_c (hi - lo)
+      if !count > 0 then ignore (Atomic.fetch_and_add total !count)
     in
-    run_job pool
-      {
-        run;
-        num_chunks;
-        next = Atomic.make 0;
-        completed = Atomic.make 0;
-        failed = Atomic.make None;
-      };
+    if n > 0 then run_from pool ~t0:(now_ns ()) ~start:0 run n;
     Atomic.get total
   end
 
 (* Pack [p 0 .. p (n-1)] into a fresh bit buffer, bit [i] at byte
-   [i lsr 3] / position [i land 7]. Chunks are whole byte ranges, so no
+   [i lsr 3] / position [i land 7]. Work items are whole bytes, so no
    two domains ever read-modify-write the same byte — plain writes are
    race-free without atomics. *)
 let fill pool ~n p =
@@ -267,30 +439,14 @@ let fill pool ~n p =
     done;
     if !v <> 0 then Bytes.set buf byte (Char.chr !v)
   in
-  if sequential pool || n < 16 then
-    for byte = 0 to nbytes - 1 do
+  let run lo hi =
+    for byte = lo to hi - 1 do
       fill_byte byte
     done
-  else begin
-    let chunk_bytes = max 1 (nbytes / (pool.size * chunking)) in
-    let num_chunks = (nbytes + chunk_bytes - 1) / chunk_bytes in
-    let run i =
-      let lo = i * chunk_bytes in
-      let hi = min nbytes (lo + chunk_bytes) in
-      for byte = lo to hi - 1 do
-        fill_byte byte
-      done;
-      Obs.add pool.items_c ((hi - lo) * 8)
-    in
-    run_job pool
-      {
-        run;
-        num_chunks;
-        next = Atomic.make 0;
-        completed = Atomic.make 0;
-        failed = Atomic.make None;
-      }
-  end;
+  in
+  if nbytes = 0 then ()
+  else if sequential pool then run 0 nbytes
+  else run_from pool ~t0:(now_ns ()) ~start:0 run nbytes;
   buf
 
 let map_list pool f l = Array.to_list (map pool f (Array.of_list l))

@@ -1,20 +1,38 @@
 (** A fixed-size domain pool for data-parallel fan-out (OCaml 5 domains).
 
-    The pool owns [num_domains - 1] worker domains; the submitting domain
-    participates in every batch, so a pool of size [n] computes with [n]
-    domains in total. Batches are split into chunks claimed from a shared
-    atomic counter, which balances load when per-item cost is skewed (as
-    it is for coverage checks, where one example may trigger a full repair
-    enumeration while its neighbours hit the fast path).
+    The pool owns [num_domains - 1] worker domains, spawned lazily on the
+    first batch that actually fans out — a pool whose batches all run
+    inline never spawns a domain (idle domains are not free: every minor
+    GC is a stop-the-world across all spawned domains). The submitting
+    domain participates in every batch, so a pool of size [n] computes
+    with [n] domains in total.
+
+    Every batch goes through an adaptive cost model. The submitter first
+    runs items inline while measuring their cost (the probe); if the
+    predicted remaining work is below a fan-out threshold — or the host
+    has no spare hardware parallelism to exploit
+    ([Domain.recommended_domain_count () <= 1]) — the batch simply
+    finishes inline: tiny batches never touch a mutex, a condition
+    variable, or another domain. Otherwise the remaining items
+    are split into chunks (sized from [remaining / (domains * chunking)],
+    floored so each chunk is worth a minimum amount of measured work) and
+    dealt into one work-stealing {!Deque} per participant: each domain
+    drains its own deque LIFO and then steals FIFO from the others, which
+    balances load when per-item cost is skewed (as it is for coverage
+    checks, where one example may trigger a full repair enumeration while
+    its neighbours hit the fast path).
 
     Guarantees:
     - {b Deterministic ordering}: [map] writes each result at its input
       index, so the output is identical to the sequential [Array.map]
-      regardless of which domain computed which chunk. [filter_count]
+      regardless of which domain computed which chunk — and regardless of
+      how the probe / inline / fan-out decision falls. [filter_count]
       returns the same count as the sequential filter.
     - {b Exception propagation}: if any item raises, one of the raised
       exceptions is re-raised (with its backtrace) in the submitting
-      domain after the batch drains. Remaining chunks still run.
+      domain. Items run inline (probe or inline finish) raise directly;
+      on the fan-out path the first failure is re-raised after the batch
+      drains, and remaining chunks still run.
     - {b Reentrancy}: a batch submitted from inside a pool task (any
       domain, including the submitter while it participates) runs
       sequentially in place instead of deadlocking on the pool.
@@ -69,13 +87,36 @@ val iter : t -> ('a -> unit) -> 'a array -> unit
     result equals the sequential fill bit-for-bit. *)
 val fill : t -> n:int -> (int -> bool) -> Bytes.t
 
+(** {2 Cost model}
+
+    Process-wide knobs for the adaptive fan-out decision, in
+    nanoseconds. Defaults: fan-out threshold 100µs (batches predicted
+    cheaper than this finish inline), minimum chunk cost 20µs, probe
+    budget 10µs. Exposed primarily so tests can force a path:
+    [set_cost_model ~fanout_threshold:0 ~min_chunk:0 ()] makes every
+    parallel-eligible batch fan out with small chunks (maximum stealing);
+    a huge [fanout_threshold] forces everything inline. *)
+
+val set_cost_model :
+  ?fanout_threshold:int -> ?min_chunk:int -> ?probe_budget:int -> unit -> unit
+
+(** Restore the default cost model. *)
+val reset_cost_model : unit -> unit
+
+(** Exponentially-weighted moving average of the measured per-item cost
+    (ns) across recent batches — the cost model's feedback hook, exposed
+    for observability. [0] until the first measured batch. *)
+val last_item_cost_ns : unit -> int
+
 (** Cumulative counters since pool creation. [busy_seconds.(0)] is the
     submitting side; slots [1..] are the workers. *)
 type stats = {
   domains : int;
-  tasks : int;  (** batches submitted *)
+  tasks : int;  (** batches that fanned out to the workers *)
   chunks : int;  (** chunks claimed and run *)
-  items : int;  (** items processed *)
+  items : int;  (** items processed through parallel-eligible batches *)
+  steals : int;  (** chunks taken from another participant's deque *)
+  inline_batches : int;  (** batches the cost model kept inline *)
   busy_seconds : float array;
 }
 

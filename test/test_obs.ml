@@ -91,20 +91,47 @@ let sharding_tests =
 
 exception Boom
 
+(* Spans only do work while active (metrics on or recording); these
+   tests switch metrics on explicitly and restore the default-off state
+   afterwards. *)
+let with_metrics f =
+  Obs.set_metrics true;
+  Fun.protect ~finally:(fun () -> Obs.set_metrics false) f
+
 let span_tests =
   [
     Alcotest.test_case "span returns the result and feeds the histogram"
       `Quick (fun () ->
-        let before = (Obs.histogram_snapshot (Obs.histogram "test.span.ok")).Obs.count in
-        let v = Obs.span "test.span.ok" (fun () -> 1 + 1) in
-        Alcotest.(check int) "result" 2 v;
-        let s = Obs.histogram_snapshot (Obs.histogram "test.span.ok") in
-        Alcotest.(check int) "observed once" (before + 1) s.Obs.count);
+        with_metrics (fun () ->
+            let before =
+              (Obs.histogram_snapshot (Obs.histogram "test.span.ok")).Obs.count
+            in
+            let v = Obs.span "test.span.ok" (fun () -> 1 + 1) in
+            Alcotest.(check int) "result" 2 v;
+            let s = Obs.histogram_snapshot (Obs.histogram "test.span.ok") in
+            Alcotest.(check int) "observed once" (before + 1) s.Obs.count));
     Alcotest.test_case "span re-raises and still records" `Quick (fun () ->
-        (try ignore (Obs.span "test.span.raises" (fun () -> raise Boom))
-         with Boom -> ());
-        let s = Obs.histogram_snapshot (Obs.histogram "test.span.raises") in
-        Alcotest.(check int) "observed" 1 s.Obs.count);
+        with_metrics (fun () ->
+            (try ignore (Obs.span "test.span.raises" (fun () -> raise Boom))
+             with Boom -> ());
+            let s =
+              Obs.histogram_snapshot (Obs.histogram "test.span.raises")
+            in
+            Alcotest.(check int) "observed" 1 s.Obs.count));
+    Alcotest.test_case "span short-circuits when no recorder is active"
+      `Quick (fun () ->
+        Alcotest.(check bool) "metrics off" false (Obs.metrics_enabled ());
+        Alcotest.(check bool) "not recording" false (Obs.recording ());
+        Alcotest.(check bool) "inactive" false (Obs.active ());
+        let v = Obs.span "test.span.inactive" (fun () -> 40 + 2) in
+        Alcotest.(check int) "result still computed" 42 v;
+        let s = Obs.histogram_snapshot (Obs.histogram "test.span.inactive") in
+        Alcotest.(check int) "histogram untouched" 0 s.Obs.count;
+        with_metrics (fun () ->
+            Alcotest.(check bool) "metrics activate spans" true (Obs.active ());
+            ignore (Obs.span "test.span.inactive" (fun () -> 0)));
+        let s = Obs.histogram_snapshot (Obs.histogram "test.span.inactive") in
+        Alcotest.(check int) "observed once active" 1 s.Obs.count);
     Alcotest.test_case "now_ns is monotone enough to time spans" `Quick
       (fun () ->
         let a = Obs.now_ns () in
@@ -184,14 +211,16 @@ let trace_tests =
 let report_tests =
   [
     Alcotest.test_case "report mentions active metrics" `Quick (fun () ->
-        let c = Obs.counter "test.report.counter" in
-        Obs.reset_counter c;
-        Obs.add c 5;
-        ignore (Obs.span "test.report.span" (fun () -> ()));
-        let r = Obs.report () in
-        Alcotest.(check bool) "counter" true
-          (contains ~sub:"test.report.counter" r);
-        Alcotest.(check bool) "span" true (contains ~sub:"test.report.span" r));
+        with_metrics (fun () ->
+            let c = Obs.counter "test.report.counter" in
+            Obs.reset_counter c;
+            Obs.add c 5;
+            ignore (Obs.span "test.report.span" (fun () -> ()));
+            let r = Obs.report () in
+            Alcotest.(check bool) "counter" true
+              (contains ~sub:"test.report.counter" r);
+            Alcotest.(check bool) "span" true
+              (contains ~sub:"test.report.span" r)));
     Alcotest.test_case "report_json is shaped" `Quick (fun () ->
         let c = Obs.counter "test.report.json" in
         Obs.reset_counter c;

@@ -15,9 +15,28 @@ open Dlearn_constraints
 open Dlearn_logic
 open Dlearn_core
 module Pool = Dlearn_parallel.Pool
+module Deque = Dlearn_parallel.Deque
 module Memo = Dlearn_parallel.Memo
 
 let sv s = Value.String s
+
+(* Force every parallel-eligible batch down the fan-out path with
+   single-item chunks — maximum stealing — then restore the default cost
+   model. The equivalence and stress suites run under this so the toy
+   workloads (whose batches the adaptive model would keep inline)
+   actually exercise the deques. *)
+let with_forced_fanout f =
+  Pool.set_cost_model ~fanout_threshold:0 ~min_chunk:0 ();
+  Fun.protect ~finally:Pool.reset_cost_model f
+
+(* Busy-wait, so per-item cost is controllable without releasing the
+   domain (Unix.sleepf would let every other participant run for free
+   and hide skew). *)
+let spin_ns ns =
+  let stop = Unix.gettimeofday () +. (float_of_int ns /. 1e9) in
+  while Unix.gettimeofday () < stop do
+    ignore (Sys.opaque_identity 0)
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Pool unit tests                                                     *)
@@ -78,56 +97,63 @@ let pool_tests =
           (Array.for_all (fun c -> Atomic.get c = 1) counters));
     Alcotest.test_case "exceptions propagate to the submitter" `Quick
       (fun () ->
-        List.iter
-          (fun n ->
-            let pool = Pool.get n in
-            let raised =
-              try
-                ignore
-                  (Pool.map pool
-                     (fun x -> if x = 61 then failwith "boom" else x)
-                     (Array.init 100 (fun i -> i)));
-                false
-              with Failure msg -> msg = "boom"
-            in
-            Alcotest.(check bool)
-              (Printf.sprintf "pool %d re-raises" n)
-              true raised;
-            (* The pool survives a failed batch. *)
-            Alcotest.(check int) "still works" 10
-              (Pool.filter_count pool
-                 (fun x -> x < 10)
-                 (Array.init 100 (fun i -> i))))
-          pool_sizes);
+        (* Forced fan-out exercises the job-failure path; the n = 1 pool
+           still covers the direct inline raise. *)
+        with_forced_fanout (fun () ->
+            List.iter
+              (fun n ->
+                let pool = Pool.get n in
+                let raised =
+                  try
+                    ignore
+                      (Pool.map pool
+                         (fun x -> if x = 61 then failwith "boom" else x)
+                         (Array.init 100 (fun i -> i)));
+                    false
+                  with Failure msg -> msg = "boom"
+                in
+                Alcotest.(check bool)
+                  (Printf.sprintf "pool %d re-raises" n)
+                  true raised;
+                (* The pool survives a failed batch. *)
+                Alcotest.(check int) "still works" 10
+                  (Pool.filter_count pool
+                     (fun x -> x < 10)
+                     (Array.init 100 (fun i -> i))))
+              pool_sizes));
     Alcotest.test_case "nested submission falls back sequentially" `Quick
       (fun () ->
-        let pool = Pool.get 4 in
-        let inner = Array.init 20 (fun i -> i) in
-        let got =
-          Pool.map pool
-            (fun x ->
-              Array.fold_left ( + ) 0 (Pool.map pool (fun y -> x * y) inner))
-            (Array.init 30 (fun i -> i))
-        in
-        let expected =
-          Array.init 30 (fun x ->
-              Array.fold_left ( + ) 0 (Array.map (fun y -> x * y) inner))
-        in
-        Alcotest.(check (array int)) "no deadlock, same result" expected got);
-    Alcotest.test_case "stats counters advance" `Quick (fun () ->
-        let pool = Pool.get 2 in
-        let before = Pool.stats pool in
-        ignore (Pool.map pool succ (Array.init 64 (fun i -> i)));
-        let after = Pool.stats pool in
-        Alcotest.(check int) "domains" 2 after.Pool.domains;
-        Alcotest.(check bool) "one more task" true
-          (after.Pool.tasks = before.Pool.tasks + 1);
-        Alcotest.(check bool) "items counted" true
-          (after.Pool.items >= before.Pool.items + 64);
-        Alcotest.(check bool) "chunks counted" true
-          (after.Pool.chunks > before.Pool.chunks);
-        Alcotest.(check int) "busy slots" 2
-          (Array.length after.Pool.busy_seconds));
+        with_forced_fanout (fun () ->
+            let pool = Pool.get 4 in
+            let inner = Array.init 20 (fun i -> i) in
+            let got =
+              Pool.map pool
+                (fun x ->
+                  Array.fold_left ( + ) 0 (Pool.map pool (fun y -> x * y) inner))
+                (Array.init 30 (fun i -> i))
+            in
+            let expected =
+              Array.init 30 (fun x ->
+                  Array.fold_left ( + ) 0 (Array.map (fun y -> x * y) inner))
+            in
+            Alcotest.(check (array int)) "no deadlock, same result" expected got));
+    Alcotest.test_case "stats counters advance on fan-out" `Quick (fun () ->
+        with_forced_fanout (fun () ->
+            let pool = Pool.get 2 in
+            let before = Pool.stats pool in
+            ignore (Pool.map pool succ (Array.init 64 (fun i -> i)));
+            let after = Pool.stats pool in
+            Alcotest.(check int) "domains" 2 after.Pool.domains;
+            Alcotest.(check bool) "one more task" true
+              (after.Pool.tasks = before.Pool.tasks + 1);
+            (* [map] computes item 0 inline to seed the result array; the
+               remaining 63 go through chunks. *)
+            Alcotest.(check bool) "items counted" true
+              (after.Pool.items >= before.Pool.items + 63);
+            Alcotest.(check bool) "chunks counted" true
+              (after.Pool.chunks > before.Pool.chunks);
+            Alcotest.(check int) "busy slots" 2
+              (Array.length after.Pool.busy_seconds)));
     Alcotest.test_case "fill packs predicate bits identically at every size"
       `Quick (fun () ->
         let p i = i mod 3 = 0 || i mod 7 = 1 in
@@ -161,6 +187,79 @@ let pool_tests =
         Alcotest.(check bool) "same pool" true (Pool.get 4 == Pool.get 4);
         Alcotest.(check int) "size respected" 4 (Pool.num_domains (Pool.get 4));
         Alcotest.(check int) "sequential pool" 1 (Pool.num_domains (Pool.get 1)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Deque invariants                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let deque_tests =
+  [
+    Alcotest.test_case "owner pops LIFO, then permanently empty" `Quick
+      (fun () ->
+        let d = Deque.make 0 10 in
+        for expected = 9 downto 0 do
+          Alcotest.(check (option int))
+            "pop order" (Some expected) (Deque.pop d)
+        done;
+        Alcotest.(check (option int)) "drained" None (Deque.pop d);
+        Alcotest.(check bool) "is_empty" true (Deque.is_empty d);
+        Alcotest.(check bool) "steal sees empty" true (Deque.steal d = Deque.Empty));
+    Alcotest.test_case "thieves steal FIFO" `Quick (fun () ->
+        let d = Deque.make 3 8 in
+        for expected = 3 to 7 do
+          match Deque.steal d with
+          | Deque.Stolen i -> Alcotest.(check int) "steal order" expected i
+          | Deque.Empty | Deque.Lost -> Alcotest.fail "unexpected empty/lost"
+        done;
+        Alcotest.(check bool) "drained" true (Deque.steal d = Deque.Empty));
+    Alcotest.test_case "pop and steal partition the range" `Quick (fun () ->
+        let d = Deque.make 0 20 in
+        let claimed = Array.make 20 0 in
+        for _ = 1 to 10 do
+          (match Deque.pop d with
+          | Some i -> claimed.(i) <- claimed.(i) + 1
+          | None -> ());
+          match Deque.steal d with
+          | Deque.Stolen i -> claimed.(i) <- claimed.(i) + 1
+          | Deque.Empty | Deque.Lost -> ()
+        done;
+        while not (Deque.is_empty d) do
+          match Deque.pop d with
+          | Some i -> claimed.(i) <- claimed.(i) + 1
+          | None -> ()
+        done;
+        Alcotest.(check bool) "every index exactly once" true
+          (Array.for_all (fun c -> c = 1) claimed));
+    Alcotest.test_case "concurrent owner + thieves claim each index once"
+      `Quick (fun () ->
+        for _round = 1 to 5 do
+          let n = 10_000 in
+          let d = Deque.make 0 n in
+          let claims = Array.init n (fun _ -> Atomic.make 0) in
+          let thieves =
+            List.init 3 (fun _ ->
+                Domain.spawn (fun () ->
+                    let continue = ref true in
+                    while !continue do
+                      match Deque.steal d with
+                      | Deque.Stolen i -> Atomic.incr claims.(i)
+                      | Deque.Lost -> ()
+                      | Deque.Empty -> continue := false
+                    done))
+          in
+          let rec drain () =
+            match Deque.pop d with
+            | Some i ->
+                Atomic.incr claims.(i);
+                drain ()
+            | None -> ()
+          in
+          drain ();
+          List.iter Domain.join thieves;
+          Alcotest.(check bool) "each index exactly once" true
+            (Array.for_all (fun c -> Atomic.get c = 1) claims)
+        done);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -284,10 +383,6 @@ let toy_config ~jobs ~threshold =
     min_pos = 2;
     sample_positives = 4;
     num_domains = jobs;
-    (* The toy batches are tiny; drop the sequential cutover so the
-       equivalence properties keep exercising the pool. The cutover itself
-       is pinned separately below. *)
-    parallel_min_batch = 2;
   }
 
 let ex id = Tuple.of_strings [ id ]
@@ -406,6 +501,7 @@ let equivalence_test jobs =
        ~name:(Printf.sprintf "coverage with %d domains equals sequential" jobs)
        ~count:500 scenario_arb
        (fun s ->
+         with_forced_fanout @@ fun () ->
          let variant = List.nth (Lazy.force variants) s.variant_i in
          let clause = variant.clauses.(s.clause_i) in
          let seq = List.assoc 1 variant.ctxs in
@@ -469,39 +565,146 @@ let ground_entry_stress () =
       results
   done
 
-(* The batch predicates stay sequential below [Config.parallel_min_batch]
-   (pool fan-out costs more than it saves on tiny batches — see the imdb1
-   replay in BENCH_coverage.json) and submit to the pool at the threshold;
-   both paths return identical verdicts. *)
-let cutover_tests =
+(* The pool's adaptive cost model replaced the old parallel_min_batch
+   cutover: the probe keeps cheap batches on the submitting domain (zero
+   fan-out overhead) and hands expensive ones to the workers; verdicts
+   are identical whichever way a batch falls. *)
+let cost_model_tests =
   [
-    Alcotest.test_case "parallel_min_batch defaults to 16" `Quick (fun () ->
-        Alcotest.(check int) "default" 16
-          (Config.default ~target).Config.parallel_min_batch);
-    Alcotest.test_case "small batches skip the pool, large batches use it"
+    Alcotest.test_case "a huge fan-out threshold pins batches inline" `Quick
+      (fun () ->
+        Pool.set_cost_model ~fanout_threshold:max_int ();
+        Fun.protect ~finally:Pool.reset_cost_model (fun () ->
+            let pool = Pool.get 2 in
+            let before = (Pool.stats pool).Pool.tasks in
+            let arr = Array.init 512 (fun i -> i) in
+            Alcotest.(check (array int))
+              "inline result identical" (Array.map succ arr)
+              (Pool.map pool succ arr);
+            Alcotest.(check int) "no pool task" before
+              ((Pool.stats pool).Pool.tasks)));
+    Alcotest.test_case "tiny cheap batches degrade to inline execution"
       `Quick (fun () ->
-        let config =
-          { (toy_config ~jobs:2 ~threshold:0.7) with Config.parallel_min_batch = 16 }
-        in
-        let ctx = Context.create config (toy_db ()) [ md_title ] [] in
-        let prep = Coverage.prepare ctx (hand_clause ()) in
+        Pool.reset_cost_model ();
         let pool = Pool.get 2 in
-        let batch_of n = List.init n (fun i -> examples.(i mod 4)) in
-        (* Warm the ground caches so only the batch fan-out touches the
-           pool below. *)
-        ignore (Coverage.covers_positive_batch ctx prep (batch_of 4));
+        (* Warm-up so domain spawning is not measured by the probe. *)
+        ignore (Pool.map pool succ (Array.init 8 (fun i -> i)));
         let before = (Pool.stats pool).Pool.tasks in
-        let small = Coverage.covers_positive_batch ctx prep (batch_of 15) in
-        let mid = (Pool.stats pool).Pool.tasks in
-        Alcotest.(check int) "below the threshold: no pool task" before mid;
-        let large = Coverage.covers_positive_batch ctx prep (batch_of 16) in
+        for _ = 1 to 20 do
+          let arr = Array.init 10 (fun i -> i) in
+          Alcotest.(check (array int))
+            "result" (Array.map succ arr) (Pool.map pool succ arr)
+        done;
         let after = (Pool.stats pool).Pool.tasks in
-        Alcotest.(check bool) "at the threshold: pool task submitted" true
-          (after > mid);
+        (* The probe finishes 10 trivial items well inside its budget; a
+           rare preemption mid-probe may push a batch over the threshold,
+           so allow a small number of strays. *)
+        Alcotest.(check bool)
+          (Printf.sprintf "tiny batches stay off the pool (%d tasks)"
+             (after - before))
+          true
+          (after - before <= 2));
+    Alcotest.test_case "expensive batches fan out to the workers" `Quick
+      (fun () ->
+        (* Under the default model the fan-out verdict also depends on the
+           host: with no spare hardware parallelism even expensive batches
+           stay inline (fanning out could only add overhead). Pin both
+           sides of that rule. *)
+        Pool.reset_cost_model ();
+        let pool = Pool.get 2 in
+        let before = Pool.stats pool in
+        let arr = Array.init 32 (fun i -> i) in
+        let f x =
+          spin_ns 100_000;
+          x * 2
+        in
+        Alcotest.(check (array int))
+          "result" (Array.map (fun x -> x * 2) arr)
+          (Pool.map pool f arr);
+        let after = Pool.stats pool in
+        if Domain.recommended_domain_count () > 1 then begin
+          Alcotest.(check bool) "pool task submitted" true
+            (after.Pool.tasks > before.Pool.tasks);
+          Alcotest.(check bool) "chunks claimed" true
+            (after.Pool.chunks > before.Pool.chunks)
+        end
+        else
+          Alcotest.(check int) "single-core host stays inline"
+            before.Pool.tasks after.Pool.tasks;
+        Alcotest.(check bool) "per-item cost was measured" true
+          (Pool.last_item_cost_ns () > 0));
+    Alcotest.test_case "batch verdicts identical regardless of batch size"
+      `Quick (fun () ->
+        let ctx =
+          Context.create
+            (toy_config ~jobs:2 ~threshold:0.7)
+            (toy_db ()) [ md_title ] []
+        in
+        let prep = Coverage.prepare ctx (hand_clause ()) in
+        let batch_of n = List.init n (fun i -> examples.(i mod 4)) in
+        let small = Coverage.covers_positive_batch ctx prep (batch_of 15) in
+        let large = Coverage.covers_positive_batch ctx prep (batch_of 16) in
         Alcotest.(check (list bool))
           "identical verdicts on both paths" small
-          (List.filteri (fun i _ -> i < 15) large))
+          (List.filteri (fun i _ -> i < 15) large));
   ]
+
+(* ------------------------------------------------------------------ *)
+(* Determinism under stealing                                          *)
+(* ------------------------------------------------------------------ *)
+
+let steal_gen =
+  let open QCheck.Gen in
+  let* jobs = oneofl [ 2; 4; 8 ] in
+  let* delays_us = list_size (8 -- 32) (0 -- 100) in
+  return (jobs, delays_us)
+
+let steal_print (jobs, delays_us) =
+  Printf.sprintf "jobs=%d delays_us=[%s]" jobs
+    (String.concat ";" (List.map string_of_int delays_us))
+
+(* Single-item chunks plus random per-item sleeps randomize which domain
+   ends up computing which item (owner pops race thief steals); the map
+   must be byte-identical to the sequential reference regardless. *)
+let steal_equivalence_test =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make
+       ~name:"pool map is deterministic under randomized steal interleavings"
+       ~count:60
+       (QCheck.make ~print:steal_print steal_gen)
+       (fun (jobs, delays_us) ->
+         with_forced_fanout (fun () ->
+             let arr = Array.of_list delays_us in
+             let reference = Array.map (fun d -> (d * 31) + 7) arr in
+             let got =
+               Pool.map (Pool.get jobs)
+                 (fun d ->
+                   spin_ns (d * 1000);
+                   (d * 31) + 7)
+                 arr
+             in
+             got = reference)))
+
+let steal_counter_test =
+  Alcotest.test_case "skewed chunks are stolen across deques" `Quick
+    (fun () ->
+      with_forced_fanout (fun () ->
+          let pool = Pool.get 4 in
+          let before = (Pool.stats pool).Pool.steals in
+          (* Item 0 (and every multiple of 8) is slow: whichever deque
+             holds those chunks falls behind and the other participants
+             steal from it. 20 rounds make at least one steal all but
+             certain on any scheduler. *)
+          for _round = 1 to 20 do
+            ignore
+              (Pool.map pool
+                 (fun i ->
+                   if i mod 8 = 0 then spin_ns 200_000;
+                   i + 1)
+                 (Array.init 64 (fun i -> i)))
+          done;
+          let after = (Pool.stats pool).Pool.steals in
+          Alcotest.(check bool) "steals observed" true (after > before)))
 
 let stress_tests =
   [
@@ -509,31 +712,38 @@ let stress_tests =
       `Quick ground_entry_stress;
     Alcotest.test_case "learner result is identical across domain counts"
       `Quick (fun () ->
-        let pos = [ ex "m1"; ex "m3"; ex "m4" ] and neg = [ ex "m2" ] in
-        let learn jobs =
-          let ctx =
-            Context.create
-              (toy_config ~jobs ~threshold:0.7)
-              (toy_db ()) [ md_title ] []
-          in
-          let r = Learner.learn ctx ~pos ~neg in
-          Definition.to_string r.Learner.definition
-        in
-        let seq = learn 1 in
-        List.iter
-          (fun jobs ->
-            Alcotest.(check string)
-              (Printf.sprintf "%d domains" jobs)
-              seq (learn jobs))
-          [ 2; 4; 8 ])
+        (* Forced fan-out: ARMG generation, bottom-clause similarity
+           search and coverage all hit the deques even on this toy
+           workload; the learned definition must be byte-identical at
+           every domain count. *)
+        with_forced_fanout (fun () ->
+            let pos = [ ex "m1"; ex "m3"; ex "m4" ] and neg = [ ex "m2" ] in
+            let learn jobs =
+              let ctx =
+                Context.create
+                  (toy_config ~jobs ~threshold:0.7)
+                  (toy_db ()) [ md_title ] []
+              in
+              let r = Learner.learn ctx ~pos ~neg in
+              Definition.to_string r.Learner.definition
+            in
+            let seq = learn 1 in
+            List.iter
+              (fun jobs ->
+                Alcotest.(check string)
+                  (Printf.sprintf "%d domains" jobs)
+                  seq (learn jobs))
+              [ 2; 4; 8 ]))
   ]
 
 let () =
   Alcotest.run "parallel"
     [
       ("pool", pool_tests);
+      ("deque", deque_tests);
       ("memo", memo_tests);
       ("equivalence", equivalence_tests);
-      ("cutover", cutover_tests);
+      ("cost model", cost_model_tests);
+      ("stealing", steal_equivalence_test :: [ steal_counter_test ]);
       ("stress", stress_tests);
     ]
