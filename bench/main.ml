@@ -956,6 +956,312 @@ let bench_normalize ~folds:_ ~n () =
   Printf.printf "wrote BENCH_normalize.json\n\n"
 
 (* ------------------------------------------------------------------ *)
+(* Scale: the 10⁵-tuple data path (docs/SCALE.md).                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The seed repo's Sim_index, kept verbatim as the sequential baseline:
+   one string-keyed posting table, no sharding, no length prefilter, no
+   pool. [speedup_vs_legacy] in BENCH_scale.json is measured against
+   this — the from-scratch baseline, as BENCH_coverage.json does for the
+   incremental engine — while [speedup_parallel] isolates pure pool
+   scaling (sharded jobs=1 vs jobs=j). *)
+module Legacy_index = struct
+  module Sim = Dlearn_similarity
+
+  type t = {
+    values : string array;
+    by_gram : (string, int list ref) Hashtbl.t;
+    n : int;
+    measure : Sim.Combined.measure;
+  }
+
+  let create ?(n = 3) ?(measure = Sim.Combined.default) values =
+    let distinct = List.sort_uniq String.compare values in
+    let values = Array.of_list distinct in
+    let by_gram = Hashtbl.create (Array.length values * 4) in
+    Array.iteri
+      (fun i v ->
+        List.iter
+          (fun g ->
+            match Hashtbl.find_opt by_gram g with
+            | Some ids -> ids := i :: !ids
+            | None -> Hashtbl.add by_gram g (ref [ i ]))
+          (Sim.Ngram.gram_set ~n v))
+      values;
+    { values; by_gram; n; measure }
+
+  let rank_and_cut t ~km ~threshold s candidate_ids =
+    let scored =
+      List.filter_map
+        (fun i ->
+          let v = t.values.(i) in
+          let score = Sim.Combined.similarity ~measure:t.measure s v in
+          if score >= threshold then Some (v, score) else None)
+        candidate_ids
+    in
+    let sorted =
+      List.sort
+        (fun (v1, s1) (v2, s2) ->
+          match Float.compare s2 s1 with
+          | 0 -> String.compare v1 v2
+          | c -> c)
+        scored
+    in
+    List.filteri (fun i _ -> i < km) sorted
+
+  let query t ~km ~threshold s =
+    let seen = Hashtbl.create 64 in
+    let candidates = ref [] in
+    List.iter
+      (fun g ->
+        match Hashtbl.find_opt t.by_gram g with
+        | Some ids ->
+            List.iter
+              (fun i ->
+                if not (Hashtbl.mem seen i) then begin
+                  Hashtbl.add seen i ();
+                  candidates := i :: !candidates
+                end)
+              !ids
+        | None -> ())
+      (Sim.Ngram.gram_set ~n:t.n s);
+    rank_and_cut t ~km ~threshold s !candidates
+
+  let match_pairs ~km ~threshold left right =
+    let index = create right in
+    let left = List.sort_uniq String.compare left in
+    List.concat_map
+      (fun l ->
+        query index ~km ~threshold l
+        |> List.map (fun (r, score) -> (l, r, score)))
+      left
+end
+
+let bench_scale ~folds:_ ~n () =
+  let module Sim = Dlearn_similarity.Sim_index in
+  let tuples = (match n with Some v -> v | None -> 100) * 1000 in
+  let jobs = max 2 !bench_jobs in
+  let sweep_jobs =
+    let steps = List.filter (fun j -> j <= jobs) [ 4; 8 ] in
+    let steps = if List.mem jobs steps then steps else steps @ [ jobs ] in
+    1 :: steps
+  in
+  let km = 5 and threshold = 0.9 in
+  Printf.printf
+    "== Scale: streaming storage + sharded Sim_index (tuples=%d, jobs sweep \
+     %s) ==\n\
+     %!"
+    tuples
+    (String.concat "/" (List.map string_of_int sweep_jobs));
+  let best_of k f =
+    List.fold_left (fun acc _ -> Float.min acc (f ())) (f ())
+      (List.init (k - 1) Fun.id)
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let rss_kb () = Option.value (Dlearn_obs.Obs.peak_rss_kb ()) ~default:0 in
+  let top_heap_mb () =
+    float_of_int (Gc.quick_stat ()).Gc.top_heap_words
+    *. float_of_int (Sys.word_size / 8)
+    /. 1_048_576.0
+  in
+  (* Phase 1: generate the dataset on disk. *)
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dlearn-scale-%d" tuples)
+  in
+  let gen_s, summary =
+    time (fun () ->
+        Scale_gen.generate ~config:{ Scale_gen.default with tuples } dir)
+  in
+  Printf.printf "generated %d rows x2 (%d bytes) in %.2fs -> %s\n%!" tuples
+    summary.Scale_gen.bytes gen_s dir;
+  (* Phase 2: ingestion. Peak RSS (VmHWM) and top_heap are high-water
+     marks, so the lean phase must run first: stream, record, then
+     materialize and record again. *)
+  let bytes_c = Dlearn_obs.Obs.counter "storage.bytes_streamed" in
+  let bytes0 = Dlearn_obs.Obs.value bytes_c in
+  let stream_s, stream_rows =
+    time (fun () ->
+        List.fold_left
+          (fun acc name ->
+            Storage.scan dir name ~init:acc ~f:(fun acc _tu -> acc + 1))
+          0
+          [ Scale_gen.src_name; Scale_gen.dst_name ])
+  in
+  let stream_bytes = Dlearn_obs.Obs.value bytes_c - bytes0 in
+  let stream_rss = rss_kb () and stream_heap = top_heap_mb () in
+  let mat_s, db = time (fun () -> Storage.load dir) in
+  let mat_tuples = Database.total_tuples db in
+  let mat_rss = rss_kb () and mat_heap = top_heap_mb () in
+  Printf.printf
+    "stream:      %.2fs  %d rows (%d bytes), peak rss %d kB, top heap %.1f MB\n\
+     materialize: %.2fs  %d tuples, peak rss %d kB, top heap %.1f MB\n\
+     %!"
+    stream_s stream_rows stream_bytes stream_rss stream_heap mat_s mat_tuples
+    mat_rss mat_heap;
+  if stream_rows <> 2 * tuples || mat_tuples <> 2 * tuples then
+    failwith "bench scale: row counts disagree";
+  let titles rel_name =
+    Relation.distinct_values (Database.find db rel_name) Scale_gen.title_pos
+    |> List.filter_map (fun v ->
+           if Value.is_null v then None else Some (Value.as_string v))
+  in
+  let right = titles Scale_gen.dst_name in
+  let left_all = titles Scale_gen.src_name in
+  let nvalues = List.length right in
+  (* Phase 3: index build, legacy vs sharded across the jobs sweep. *)
+  let legacy_build_s =
+    best_of 2 (fun () -> fst (time (fun () -> Legacy_index.create right)))
+  in
+  let digest1 = Sim.postings_digest (Sim.create ~jobs:1 right) in
+  let build_sweep =
+    List.map
+      (fun j ->
+        ignore (Dlearn_parallel.Pool.get j);
+        let s =
+          best_of 2 (fun () -> fst (time (fun () -> Sim.create ~jobs:j right)))
+        in
+        (j, s))
+      sweep_jobs
+  in
+  let deterministic =
+    List.for_all
+      (fun j -> Sim.postings_digest (Sim.create ~jobs:j right) = digest1)
+      sweep_jobs
+  in
+  let build1 = List.assoc 1 build_sweep in
+  let shard_index = Sim.create ~jobs:jobs right in
+  Printf.printf "index build (%d values, %d shards): legacy %.3fs" nvalues
+    (Sim.shard_count shard_index) legacy_build_s;
+  List.iter
+    (fun (j, s) ->
+      Printf.printf "  %dd %.3fs (%.2fx legacy, %.2fx par)" j s
+        (legacy_build_s /. s) (build1 /. s))
+    build_sweep;
+  Printf.printf "  deterministic=%b\n%!" deterministic;
+  (* Phase 4: query throughput over a sample of clean-side titles. *)
+  let sample k xs =
+    let n = List.length xs in
+    let step = max 1 (n / k) in
+    List.filteri (fun i _ -> i mod step = 0) xs |> List.filteri (fun i _ -> i < k)
+  in
+  let queries = sample (max 50 (min 300 (tuples / 400))) left_all in
+  let nq = List.length queries in
+  let legacy = Legacy_index.create right in
+  let legacy_query_s, legacy_hits =
+    time (fun () ->
+        List.map (fun q -> Legacy_index.query legacy ~km ~threshold q) queries)
+  in
+  let shard_query_s, shard_hits =
+    time (fun () ->
+        List.map (fun q -> Sim.query shard_index ~km ~threshold q) queries)
+  in
+  let query_agree = legacy_hits = shard_hits in
+  Printf.printf
+    "query x%d: legacy %.3fs, sharded %.3fs (%.2fx, %.0f q/s), agree=%b\n%!"
+    nq legacy_query_s shard_query_s
+    (legacy_query_s /. shard_query_s)
+    (float_of_int nq /. shard_query_s)
+    query_agree;
+  (* Phase 5: match_pairs — build plus one query per left value. *)
+  let left = sample (max 50 (min 200 (tuples / 500))) left_all in
+  let nleft = List.length left in
+  let legacy_match_s, legacy_pairs =
+    time (fun () -> Legacy_index.match_pairs ~km ~threshold left right)
+  in
+  let match_sweep =
+    List.map
+      (fun j ->
+        let s, pairs =
+          time (fun () -> Sim.match_pairs ~jobs:j ~km ~threshold left right)
+        in
+        (j, s, pairs))
+      sweep_jobs
+  in
+  let match1 =
+    match match_sweep with (_, s, _) :: _ -> s | [] -> assert false
+  in
+  let match_agree =
+    List.for_all (fun (_, _, pairs) -> pairs = legacy_pairs) match_sweep
+  in
+  Printf.printf "match_pairs x%d (%d pairs): legacy %.3fs" nleft
+    (List.length legacy_pairs) legacy_match_s;
+  List.iter
+    (fun (j, s, _) ->
+      Printf.printf "  %dd %.3fs (%.2fx legacy, %.2fx par)" j s
+        (legacy_match_s /. s) (match1 /. s))
+    match_sweep;
+  Printf.printf "  agree=%b\n%!" match_agree;
+  if not (deterministic && query_agree && match_agree) then
+    failwith "bench scale: sharded index disagrees with the legacy baseline";
+  (* Machine-readable record of the perf trajectory. *)
+  let oc = open_out "BENCH_scale.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"scale\",\n\
+    \  \"tuples\": %d,\n\
+    \  \"jobs\": %d,\n\
+    \  \"generate\": {\"seconds\": %.6f, \"bytes\": %d, \"rows\": %d, \
+     \"duplicates\": %d, \"corrupted_titles\": %d},\n"
+    tuples jobs gen_s summary.Scale_gen.bytes (2 * tuples)
+    summary.Scale_gen.duplicates summary.Scale_gen.corrupted;
+  Printf.fprintf oc
+    "  \"ingest\": {\n\
+    \    \"stream\": {\"seconds\": %.6f, \"rows\": %d, \"bytes\": %d, \
+     \"rows_per_s\": %.0f, \"peak_rss_kb\": %d, \"top_heap_mb\": %.1f},\n\
+    \    \"materialize\": {\"seconds\": %.6f, \"tuples\": %d, \
+     \"peak_rss_kb\": %d, \"top_heap_mb\": %.1f},\n\
+    \    \"stream_rss_below_materialize\": %b},\n"
+    stream_s stream_rows stream_bytes
+    (float_of_int stream_rows /. stream_s)
+    stream_rss stream_heap mat_s mat_tuples mat_rss mat_heap
+    (stream_rss < mat_rss || stream_heap < mat_heap);
+  let sweep_json fmt_name legacy_s base sweep =
+    String.concat ", "
+      (List.map
+         (fun (j, s) ->
+           Printf.sprintf
+             "{\"jobs\": %d, \"%s\": %.6f, \"speedup_vs_legacy\": %.3f, \
+              \"speedup_parallel\": %.3f}"
+             j fmt_name s (legacy_s /. s) (base /. s))
+         sweep)
+  in
+  Printf.fprintf oc
+    "  \"index_build\": {\"values\": %d, \"shards\": %d, \"legacy_seq_s\": \
+     %.6f,\n\
+    \    \"sweep\": [%s],\n\
+    \    \"deterministic_across_jobs\": %b},\n"
+    nvalues
+    (Sim.shard_count shard_index)
+    legacy_build_s
+    (sweep_json "seconds" legacy_build_s build1 build_sweep)
+    deterministic;
+  Printf.fprintf oc
+    "  \"query\": {\"queries\": %d, \"km\": %d, \"threshold\": %.2f, \
+     \"legacy_s\": %.6f, \"sharded_s\": %.6f, \"speedup_vs_legacy\": %.3f, \
+     \"sharded_qps\": %.0f, \"results_agree\": %b},\n"
+    nq km threshold legacy_query_s shard_query_s
+    (legacy_query_s /. shard_query_s)
+    (float_of_int nq /. shard_query_s)
+    query_agree;
+  Printf.fprintf oc
+    "  \"match_pairs\": {\"left\": %d, \"pairs\": %d, \"legacy_s\": %.6f,\n\
+    \    \"sweep\": [%s],\n\
+    \    \"results_agree\": %b}%s}\n"
+    nleft
+    (List.length legacy_pairs)
+    legacy_match_s
+    (sweep_json "seconds" legacy_match_s match1
+       (List.map (fun (j, s, _) -> (j, s)) match_sweep))
+    match_agree (obs_field ());
+  close_out oc;
+  Printf.printf "wrote BENCH_scale.json\n\n"
+
+(* ------------------------------------------------------------------ *)
 
 let all_benches =
   [
@@ -973,6 +1279,7 @@ let all_benches =
     ("coverage", bench_coverage);
     ("subsumption", bench_subsumption);
     ("normalize", bench_normalize);
+    ("scale", bench_scale);
   ]
 
 let usage ?(code = 1) () =

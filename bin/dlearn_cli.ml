@@ -406,6 +406,130 @@ let check_cmd =
     Term.(
       const run $ dataset_arg $ n_arg $ clause_arg $ json_arg $ bad_cfd_arg)
 
+(* dlearn genscale *)
+let genscale_cmd =
+  let dir_arg =
+    let doc = "Directory to write the dataset into (manifest + CSVs)." in
+    Arg.(value & opt string "scale-data" & info [ "out"; "o" ] ~docv:"DIR" ~doc)
+  in
+  let tuples_arg =
+    let doc = "Rows per relation." in
+    Arg.(
+      value
+      & opt int Scale_gen.default.Scale_gen.tuples
+      & info [ "tuples"; "t" ] ~docv:"N" ~doc)
+  in
+  let dirt_arg =
+    let doc = "Per-field corruption probability, in [0, 1]." in
+    Arg.(
+      value
+      & opt float Scale_gen.default.Scale_gen.dirt_rate
+      & info [ "dirt" ] ~docv:"P" ~doc)
+  in
+  let dup_arg =
+    let doc = "Probability a row duplicates the previous entity." in
+    Arg.(
+      value
+      & opt float Scale_gen.default.Scale_gen.duplicate_rate
+      & info [ "duplicates" ] ~docv:"P" ~doc)
+  in
+  let zipf_arg =
+    let doc = "Zipf exponent for brand / head-noun skew." in
+    Arg.(
+      value
+      & opt float Scale_gen.default.Scale_gen.zipf_s
+      & info [ "zipf" ] ~docv:"S" ~doc)
+  in
+  let vocab_arg =
+    let doc = "Distinct nouns in the title vocabulary (>= 16)." in
+    Arg.(
+      value
+      & opt int Scale_gen.default.Scale_gen.vocab
+      & info [ "vocab" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "RNG seed; equal configs produce byte-identical datasets." in
+    Arg.(
+      value
+      & opt int Scale_gen.default.Scale_gen.seed
+      & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let run dir tuples dirt_rate duplicate_rate zipf_s vocab seed =
+    let config =
+      {
+        Scale_gen.tuples;
+        dirt_rate;
+        duplicate_rate;
+        zipf_s;
+        vocab;
+        seed;
+      }
+    in
+    let t0 = Unix.gettimeofday () in
+    let summary = Scale_gen.generate ~config dir in
+    let dt = Unix.gettimeofday () -. t0 in
+    Format.printf "%a@." Scale_gen.pp_summary summary;
+    Printf.printf "generated in %.2fs (%.0f rows/s)\n" dt
+      (float_of_int (2 * tuples) /. dt)
+  in
+  Cmd.v
+    (Cmd.info "genscale"
+       ~doc:
+         "Generate a deterministic scaled entity-matching dataset \
+          (src_products / dst_products) straight to disk — see \
+          docs/SCALE.md.")
+    Term.(
+      const run $ dir_arg $ tuples_arg $ dirt_arg $ dup_arg $ zipf_arg
+      $ vocab_arg $ seed_arg)
+
+(* dlearn scan *)
+let scan_cmd =
+  let dir_arg =
+    let doc = "Dataset directory (manifest + CSVs), e.g. from genscale." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc)
+  in
+  let relation_arg =
+    let doc =
+      "Relation to scan; default: every relation in the manifest."
+    in
+    Arg.(value & opt (some string) None & info [ "relation"; "r" ] ~docv:"NAME" ~doc)
+  in
+  let run dir relation =
+    let names =
+      match relation with
+      | Some name -> [ name ]
+      | None -> List.map Schema.name (Storage.manifest dir)
+    in
+    List.iter
+      (fun name ->
+        let bytes0 =
+          Dlearn_obs.Obs.value (Dlearn_obs.Obs.counter "storage.bytes_streamed")
+        in
+        let t0 = Unix.gettimeofday () in
+        let rows =
+          Storage.scan dir name ~init:0 ~f:(fun acc _tu -> acc + 1)
+        in
+        let dt = Unix.gettimeofday () -. t0 in
+        let bytes =
+          Dlearn_obs.Obs.value (Dlearn_obs.Obs.counter "storage.bytes_streamed")
+          - bytes0
+        in
+        Printf.printf "%s: %d rows, %d bytes in %.2fs (%.0f rows/s, %.1f MB/s)\n"
+          name rows bytes dt
+          (float_of_int rows /. dt)
+          (float_of_int bytes /. (dt *. 1048576.0)))
+      names;
+    match Dlearn_obs.Obs.peak_rss_kb () with
+    | Some kb -> Printf.printf "peak rss: %d kB\n" kb
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "scan"
+       ~doc:
+         "Stream a stored dataset's tuples off disk without materializing \
+          any relation, reporting row/byte throughput and peak RSS.")
+    Term.(const run $ dir_arg $ relation_arg)
+
 (* dlearn export *)
 let export_cmd =
   let dir_arg =
@@ -434,7 +558,7 @@ let main =
   Cmd.group info
     [
       datasets_cmd; learn_cmd; show_cmd; query_cmd; explain_cmd; profile_cmd;
-      check_cmd; export_cmd;
+      check_cmd; genscale_cmd; scan_cmd; export_cmd;
     ]
 
 let () = exit (Cmd.eval main)

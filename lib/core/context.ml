@@ -101,7 +101,8 @@ let sim_index t rel pos =
           let values = Relation.distinct_values relation pos in
           let idx =
             Dlearn_similarity.Sim_index.of_values
-              ~measure:t.config.Config.sim.Md.measure values
+              ~measure:t.config.Config.sim.Md.measure
+              ~jobs:t.config.Config.num_domains values
           in
           Hashtbl.add t.sim_indexes (rel, pos) idx;
           idx)

@@ -443,3 +443,29 @@ let reset () =
       m.gauge_v <- 0.0)
     (metrics_sorted ());
   clear_events ()
+
+(* {2 Process memory} *)
+
+let peak_rss_kb () =
+  (* VmHWM is the process's lifetime peak resident set — the number the
+     scale bench compares streaming vs. materializing ingestion with. *)
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec scan () =
+            match input_line ic with
+            | exception End_of_file -> None
+            | line ->
+                if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+                  let digits =
+                    String.to_seq (String.sub line 6 (String.length line - 6))
+                    |> Seq.filter (fun c -> c >= '0' && c <= '9')
+                    |> String.of_seq
+                  in
+                  int_of_string_opt digits
+                else scan ()
+          in
+          scan ())

@@ -159,3 +159,13 @@ val report_json : unit -> string
 
 (** Zero every metric and drop recorded events. Handles stay valid. *)
 val reset : unit -> unit
+
+(** {1 Process memory}
+
+    [peak_rss_kb ()] reads the process's lifetime peak resident set
+    (VmHWM) from [/proc/self/status], in kilobytes — [None] where that
+    interface does not exist (non-Linux). Note the value is a high-water
+    mark: phases measured later can only see it grow, so comparative
+    measurements must run the lean phase first (as [bench scale] does for
+    streaming vs. materializing ingestion). *)
+val peak_rss_kb : unit -> int option

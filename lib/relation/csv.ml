@@ -1,14 +1,25 @@
-let parse_line ?(delim = ',') s =
-  let n = String.length s in
+module Obs = Dlearn_obs.Obs
+
+(* Streaming counters, shared with [Storage.scan]: every record parsed
+   and every chunk byte read is visible in the metrics registry. *)
+let rows_streamed_c = Obs.counter "storage.rows_streamed"
+let bytes_streamed_c = Obs.counter "storage.bytes_streamed"
+
+(* [parse_fields ~delim ~buf s pos len] splits the record [s[pos..pos+len)]
+   into fields, reusing [buf] as the field accumulator so the streaming
+   reader allocates nothing per record beyond the field strings
+   themselves. *)
+let parse_fields ~delim ~buf s pos len =
+  let stop = pos + len in
   let fields = ref [] in
-  let buf = Buffer.create 32 in
+  Buffer.clear buf;
   let flush_field () =
     fields := Buffer.contents buf :: !fields;
     Buffer.clear buf
   in
   (* States: outside quotes / inside quotes. *)
   let rec outside i =
-    if i >= n then flush_field ()
+    if i >= stop then flush_field ()
     else if s.[i] = delim then begin
       flush_field ();
       outside (i + 1)
@@ -19,9 +30,9 @@ let parse_line ?(delim = ',') s =
       outside (i + 1)
     end
   and inside i =
-    if i >= n then flush_field () (* unterminated quote: accept *)
+    if i >= stop then flush_field () (* unterminated quote: accept *)
     else if s.[i] = '"' then
-      if i + 1 < n && s.[i + 1] = '"' then begin
+      if i + 1 < stop && s.[i + 1] = '"' then begin
         Buffer.add_char buf '"';
         inside (i + 2)
       end
@@ -31,8 +42,11 @@ let parse_line ?(delim = ',') s =
       inside (i + 1)
     end
   in
-  outside 0;
+  outside pos;
   List.rev !fields
+
+let parse_line ?(delim = ',') s =
+  parse_fields ~delim ~buf:(Buffer.create 32) s 0 (String.length s)
 
 let needs_quoting delim field =
   String.exists (fun c -> c = delim || c = '"' || c = '\n' || c = '\r') field
@@ -54,37 +68,93 @@ let render_field delim field =
 let render_line ?(delim = ',') fields =
   String.concat (String.make 1 delim) (List.map (render_field delim) fields)
 
-let load ?(delim = ',') schema path =
-  let rel = Relation.create schema in
-  let ic = open_in path in
+(* {2 Streaming reader}
+
+   The file is read in fixed-size binary chunks; records that lie fully
+   inside a chunk are parsed in place, and only the (rare) record
+   spanning a chunk boundary goes through the carry buffer — which is
+   reused, like the field buffer, so steady-state reading allocates one
+   string per chunk plus the field contents. This replaces the old
+   line-at-a-time [input_line] loop: no per-line string, no whole-file
+   materialization, and it is the substrate [fold] / [Storage.scan]
+   stream 10⁵–10⁶-tuple datasets through (docs/SCALE.md). *)
+
+let chunk_bytes = 65536
+
+let fold_records ?(delim = ',') path ~init ~f =
+  let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
+      let chunk = Bytes.create chunk_bytes in
+      let carry = Buffer.create 256 in
+      let buf = Buffer.create 64 in
+      let acc = ref init in
       let line_no = ref 0 in
-      try
-        while true do
-          let line = input_line ic in
-          (* CRLF files: [input_line] strips the \n but keeps the \r,
-             which would end up inside the last field's value. Unquoted
-             fields cannot contain \r (save quotes them), so stripping
-             one trailing \r before parsing is always safe. *)
-          let line =
-            let n = String.length line in
-            if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1)
-            else line
-          in
-          incr line_no;
-          if String.length line > 0 then begin
-            let fields = parse_line ~delim line in
-            if List.length fields <> Schema.arity schema then
-              invalid_arg
-                (Printf.sprintf "Csv.load: %s line %d: %d fields, expected %d"
-                   path !line_no (List.length fields) (Schema.arity schema));
-            ignore (Relation.insert rel (Tuple.of_strings fields))
+      let emit s pos len =
+        (* CRLF files: strip one trailing \r. Unquoted fields cannot
+           contain \r (save quotes them), so this is always safe. *)
+        let len =
+          if len > 0 && s.[pos + len - 1] = '\r' then len - 1 else len
+        in
+        incr line_no;
+        if len > 0 then begin
+          Obs.incr rows_streamed_c;
+          acc := f !acc !line_no (parse_fields ~delim ~buf s pos len)
+        end
+      in
+      let rec read_loop () =
+        let got = input ic chunk 0 chunk_bytes in
+        if got = 0 then begin
+          if Buffer.length carry > 0 then begin
+            let s = Buffer.contents carry in
+            Buffer.clear carry;
+            emit s 0 (String.length s)
           end
-        done;
-        assert false
-      with End_of_file -> rel)
+        end
+        else begin
+          Obs.add bytes_streamed_c got;
+          let s = Bytes.sub_string chunk 0 got in
+          let start = ref 0 in
+          (try
+             while true do
+               let nl = String.index_from s !start '\n' in
+               if Buffer.length carry > 0 then begin
+                 Buffer.add_substring carry s !start (nl - !start);
+                 let line = Buffer.contents carry in
+                 Buffer.clear carry;
+                 emit line 0 (String.length line)
+               end
+               else emit s !start (nl - !start);
+               start := nl + 1
+             done
+           with Not_found ->
+             if !start < got then Buffer.add_substring carry s !start (got - !start));
+          read_loop ()
+        end
+      in
+      read_loop ();
+      !acc)
+
+let check_arity schema path line_no fields =
+  let arity = List.length fields in
+  if arity <> Schema.arity schema then
+    invalid_arg
+      (Printf.sprintf "Csv.load: %s line %d: %d fields, expected %d" path
+         line_no arity (Schema.arity schema))
+
+let fold ?delim schema path ~init ~f =
+  fold_records ?delim path ~init ~f:(fun acc line_no fields ->
+      check_arity schema path line_no fields;
+      f acc (Tuple.of_strings fields))
+
+let iter ?delim schema path ~f =
+  fold ?delim schema path ~init:() ~f:(fun () tu -> f tu)
+
+let load ?delim schema path =
+  let rel = Relation.create schema in
+  iter ?delim schema path ~f:(fun tu -> ignore (Relation.insert rel tu));
+  rel
 
 let save ?(delim = ',') relation path =
   let oc = open_out path in

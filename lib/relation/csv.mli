@@ -4,7 +4,13 @@
     containing the delimiter, double quotes or newlines are quoted with
     ["..."] and embedded quotes doubled, per RFC 4180's core rules. This is
     enough to round-trip the generated workloads and to let users load
-    their own extracts. *)
+    their own extracts.
+
+    Reading is streaming: the file is scanned in fixed-size chunks with a
+    reused field buffer, so {!fold} / {!iter} process a 10⁵–10⁶-tuple CSV
+    without materializing the file or a per-line string (docs/SCALE.md).
+    Two counters in the metrics registry track progress:
+    [storage.rows_streamed] and [storage.bytes_streamed]. *)
 
 (** [parse_line ?delim s] splits one record into fields. *)
 val parse_line : ?delim:char -> string -> string list
@@ -12,11 +18,31 @@ val parse_line : ?delim:char -> string -> string list
 (** [render_line ?delim fields] renders one record (no trailing newline). *)
 val render_line : ?delim:char -> string list -> string
 
-(** [load ?delim schema path] reads every line of [path] into a fresh
-    relation; each field is parsed with {!Value.of_string}. Records are
-    one per line: embedded newlines in fields are not supported by the
-    reader (the writer quotes them, but such files need a full CSV
-    parser).
+(** [fold_records ?delim path ~init ~f] streams every raw record of
+    [path] through [f acc line_no fields] — the schema-free layer under
+    {!fold}. Line numbers are 1-based and count blank (skipped) lines,
+    so they match what an editor shows. *)
+val fold_records :
+  ?delim:char ->
+  string ->
+  init:'a ->
+  f:('a -> int -> string list -> 'a) ->
+  'a
+
+(** [fold ?delim schema path ~init ~f] streams every record of [path]
+    through [f], in file order, without building a relation. Records are
+    one per line (CRLF accepted; embedded newlines in fields are not
+    supported by the reader); blank lines are skipped; each field is
+    parsed with {!Value.of_string}.
+    @raise Invalid_argument on an arity mismatch (with the line number). *)
+val fold :
+  ?delim:char -> Schema.t -> string -> init:'a -> f:('a -> Tuple.t -> 'a) -> 'a
+
+(** [iter ?delim schema path ~f] is {!fold} for effects. *)
+val iter : ?delim:char -> Schema.t -> string -> f:(Tuple.t -> unit) -> unit
+
+(** [load ?delim schema path] reads every record into a fresh relation —
+    {!fold} plus {!Relation.insert}.
     @raise Invalid_argument on an arity mismatch (with the line number). *)
 val load : ?delim:char -> Schema.t -> string -> Relation.t
 

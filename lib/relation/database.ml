@@ -1,31 +1,86 @@
+(* A relation slot is either materialized or a pending loader thunk
+   ([Storage.load ~lazy_load:true] registers these). The fast path —
+   every lookup in a fully-loaded database — is the plain [Hashtbl.find]
+   it always was: [pending] counts outstanding thunks, and only while it
+   is non-zero does [find] take the lock to force. Forcing is
+   serialized under [lock]; a lazily-loaded database is meant to be
+   materialized (or fully forced) before multi-domain use. *)
+
+type entry = Loaded of Relation.t | Pending of (unit -> Relation.t)
+
 type t = {
-  by_name : (string, Relation.t) Hashtbl.t;
+  by_name : (string, entry) Hashtbl.t;
   mutable order : string list; (* reverse registration order *)
+  mutable pending : int;
+  lock : Mutex.t;
 }
 
-let create () = { by_name = Hashtbl.create 16; order = [] }
+let create () =
+  {
+    by_name = Hashtbl.create 16;
+    order = [];
+    pending = 0;
+    lock = Mutex.create ();
+  }
 
-let add_relation t r =
-  let n = Relation.name r in
-  if Hashtbl.mem t.by_name n then
-    invalid_arg (Printf.sprintf "Database.add_relation: duplicate %s" n);
-  Hashtbl.add t.by_name n r;
-  t.order <- n :: t.order
+let register t name entry =
+  if Hashtbl.mem t.by_name name then
+    invalid_arg (Printf.sprintf "Database.add_relation: duplicate %s" name);
+  Hashtbl.add t.by_name name entry;
+  t.order <- name :: t.order
+
+let add_relation t r = register t (Relation.name r) (Loaded r)
+
+let add_lazy t name load =
+  register t name (Pending load);
+  t.pending <- t.pending + 1
 
 let create_relation t schema =
   let r = Relation.create schema in
   add_relation t r;
   r
 
+let force t name =
+  Mutex.protect t.lock (fun () ->
+      (* Re-check under the lock: another caller may have forced it. *)
+      match Hashtbl.find_opt t.by_name name with
+      | Some (Loaded r) -> r
+      | Some (Pending load) ->
+          let r = load () in
+          if Relation.name r <> name then
+            invalid_arg
+              (Printf.sprintf "Database: lazy loader for %s produced %s" name
+                 (Relation.name r));
+          Hashtbl.replace t.by_name name (Loaded r);
+          t.pending <- t.pending - 1;
+          r
+      | None -> raise Not_found)
+
 let find t name =
   match Hashtbl.find_opt t.by_name name with
-  | Some r -> r
+  | Some (Loaded r) -> r
+  | Some (Pending _) -> force t name
   | None -> raise Not_found
 
-let find_opt t name = Hashtbl.find_opt t.by_name name
+let find_opt t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some (Loaded r) -> Some r
+  | Some (Pending _) -> Some (force t name)
+  | None -> None
+
 let mem t name = Hashtbl.mem t.by_name name
+
+let is_loaded t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some (Loaded _) -> true
+  | Some (Pending _) | None -> false
+
+let pending_count t = t.pending
 let relation_names t = List.rev t.order
 let relations t = List.map (find t) (relation_names t)
+
+let materialize t =
+  List.iter (fun name -> ignore (find t name)) (relation_names t)
 
 let total_tuples t =
   List.fold_left (fun acc r -> acc + Relation.cardinality r) 0 (relations t)

@@ -1,7 +1,16 @@
 (** Database instances: a catalog of named relations.
 
     This is the paper's database instance [I] of schema [S] — the
-    background knowledge over which definitions are learned. *)
+    background knowledge over which definitions are learned.
+
+    Relations may be registered {b lazily} ({!add_lazy}, used by
+    [Storage.load ~lazy_load:true]): the loader thunk runs on first
+    access and the result is cached, so a CLI run that touches two of
+    ten relations never pays for the other eight. Lookups in a fully
+    materialized database are the same single hash probe as before;
+    forcing a pending relation is serialized under an internal lock.
+    Force everything ({!materialize}) before sharing a database across
+    domains. *)
 
 type t
 
@@ -11,11 +20,18 @@ val create : unit -> t
     @raise Invalid_argument if a relation with that name exists. *)
 val add_relation : t -> Relation.t -> unit
 
+(** [add_lazy t name load] registers a pending relation: [load] runs on
+    the first {!find} (or {!materialize}) and must produce a relation
+    named [name].
+    @raise Invalid_argument if a relation with that name exists. *)
+val add_lazy : t -> string -> (unit -> Relation.t) -> unit
+
 (** [create_relation t schema] creates, registers and returns an empty
     relation. *)
 val create_relation : t -> Schema.t -> Relation.t
 
-(** [find t name] returns the relation named [name].
+(** [find t name] returns the relation named [name], forcing it first if
+    it is still pending.
     @raise Not_found when absent. *)
 val find : t -> string -> Relation.t
 
@@ -23,7 +39,18 @@ val find_opt : t -> string -> Relation.t option
 
 val mem : t -> string -> bool
 
-(** [relations t] lists relations in registration order. *)
+(** [is_loaded t name] is [true] iff [name] is registered and
+    materialized (never forces). *)
+val is_loaded : t -> string -> bool
+
+(** Number of registered relations still pending. *)
+val pending_count : t -> int
+
+(** Force every pending relation, in registration order. *)
+val materialize : t -> unit
+
+(** [relations t] lists relations in registration order (forcing any
+    still pending). *)
 val relations : t -> Relation.t list
 
 val relation_names : t -> string list

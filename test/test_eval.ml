@@ -323,6 +323,118 @@ let describe_tests =
           has "1 MDs" && has "4 CFDs"));
   ]
 
+(* {2 Scale generator} *)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "dlearn_sgen" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun file -> Sys.remove (Filename.concat dir file))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let scale_gen_tests =
+  let small = { Scale_gen.default with Scale_gen.tuples = 2000 } in
+  [
+    Alcotest.test_case "equal configs produce byte-identical datasets" `Quick
+      (fun () ->
+        with_temp_dir (fun dir1 ->
+            with_temp_dir (fun dir2 ->
+                let s1 = Scale_gen.generate ~config:small dir1 in
+                let s2 = Scale_gen.generate ~config:small dir2 in
+                Alcotest.(check int) "same bytes" s1.Scale_gen.bytes
+                  s2.Scale_gen.bytes;
+                List.iter
+                  (fun name ->
+                    Alcotest.(check string)
+                      (name ^ " byte-identical")
+                      (read_file (Storage.csv_path dir1 name))
+                      (read_file (Storage.csv_path dir2 name)))
+                  [ Scale_gen.src_name; Scale_gen.dst_name ])));
+    Alcotest.test_case "different seeds produce different datasets" `Quick
+      (fun () ->
+        with_temp_dir (fun dir1 ->
+            with_temp_dir (fun dir2 ->
+                ignore (Scale_gen.generate ~config:small dir1);
+                ignore
+                  (Scale_gen.generate
+                     ~config:{ small with Scale_gen.seed = 8 }
+                     dir2);
+                Alcotest.(check bool) "src differs" true
+                  (read_file (Storage.csv_path dir1 Scale_gen.src_name)
+                  <> read_file (Storage.csv_path dir2 Scale_gen.src_name)))));
+    Alcotest.test_case "row counts and dirt follow the config" `Quick (fun () ->
+        with_temp_dir (fun dir ->
+            let s = Scale_gen.generate ~config:small dir in
+            Alcotest.(check (list (pair string int)))
+              "rows per relation"
+              [
+                (Scale_gen.src_name, small.Scale_gen.tuples);
+                (Scale_gen.dst_name, small.Scale_gen.tuples);
+              ]
+              s.Scale_gen.relations;
+            (* 10% title dirt (twice: variant + typo) over 2000 rows: the
+               corrupted count is concentrated around ~19%; wide bounds
+               keep this a behaviour pin, not a statistics test. *)
+            Alcotest.(check bool)
+              (Printf.sprintf "corrupted in range: %d" s.Scale_gen.corrupted)
+              true
+              (s.Scale_gen.corrupted > 100 && s.Scale_gen.corrupted < 800);
+            Alcotest.(check bool)
+              (Printf.sprintf "duplicates in range: %d" s.Scale_gen.duplicates)
+              true
+              (s.Scale_gen.duplicates > 20 && s.Scale_gen.duplicates < 400)));
+    Alcotest.test_case "dataset loads back through Storage" `Quick (fun () ->
+        with_temp_dir (fun dir ->
+            let config = { small with Scale_gen.tuples = 300 } in
+            ignore (Scale_gen.generate ~config dir);
+            let db = Storage.load dir in
+            let src = Database.find db Scale_gen.src_name in
+            Alcotest.(check int) "src rows" 300 (Relation.cardinality src);
+            (* The manifest types pid as int and price as float, and the
+               loader applies it. *)
+            let t = Relation.get src 0 in
+            (match Tuple.get t 0 with
+            | Value.Int _ -> ()
+            | v -> Alcotest.failf "pid not an int: %s" (Value.to_string v));
+            match Tuple.get t 4 with
+            | Value.Float _ -> ()
+            | v -> Alcotest.failf "price not a float: %s" (Value.to_string v)));
+    Alcotest.test_case "zero dirt leaves every title clean" `Quick (fun () ->
+        with_temp_dir (fun dir ->
+            let config =
+              { small with Scale_gen.tuples = 500; dirt_rate = 0.0 }
+            in
+            let s = Scale_gen.generate ~config dir in
+            Alcotest.(check int) "no corrupted titles" 0 s.Scale_gen.corrupted));
+    Alcotest.test_case "invalid configs are rejected" `Quick (fun () ->
+        List.iter
+          (fun config ->
+            with_temp_dir (fun dir ->
+                Alcotest.(check bool) "raises" true
+                  (try
+                     ignore (Scale_gen.generate ~config dir);
+                     false
+                   with Invalid_argument _ -> true)))
+          [
+            { Scale_gen.default with Scale_gen.tuples = 0 };
+            { Scale_gen.default with Scale_gen.dirt_rate = 1.5 };
+            { Scale_gen.default with Scale_gen.duplicate_rate = -0.1 };
+            { Scale_gen.default with Scale_gen.vocab = 4 };
+          ]);
+  ]
+
 let () =
   Alcotest.run "eval"
     [
@@ -334,4 +446,5 @@ let () =
       ("properties", qcheck_tests);
       ("ascii_plot", plot_tests);
       ("describe", describe_tests);
+      ("scale_gen", scale_gen_tests);
     ]

@@ -389,6 +389,175 @@ let storage_tests =
   ]
 
 
+(* {2 Streaming}
+
+   The chunked CSV reader and lazy storage layer behind the scale path:
+   records spanning the 64 KiB read-chunk boundary, CRLF in the same
+   stream, files without trailing newlines, relation scans that never
+   materialize, and deferred relation loading. *)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "dlearn_scale" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun file -> Sys.remove (Filename.concat dir file))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let streaming_tests =
+  [
+    Alcotest.test_case "fold streams large quoted fields across chunks" `Quick
+      (fun () ->
+        (* One field of 100 000 characters: spans two 64 KiB read chunks,
+           is quoted (contains a comma), and the file ends CRLF. The
+           reader must reassemble it byte-perfectly. *)
+        let big = String.init 100_000 (fun i -> Char.chr (97 + (i mod 23))) in
+        let path = Filename.temp_file "dlearn_big" ".csv" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            let oc = open_out_bin path in
+            output_string oc "first,plain\r\n";
+            output_string oc (Csv.render_line [ "second"; big ^ ",tail" ]);
+            output_string oc "\r\n";
+            close_out oc;
+            let records =
+              Csv.fold_records path ~init:[] ~f:(fun acc _line fields ->
+                  fields :: acc)
+            in
+            match List.rev records with
+            | [ [ "first"; "plain" ]; [ "second"; huge ] ] ->
+                Alcotest.(check int)
+                  "field length" (String.length big + 5) (String.length huge);
+                Alcotest.(check string) "field content" (big ^ ",tail") huge
+            | other -> Alcotest.failf "unexpected shape: %d records" (List.length other)));
+    Alcotest.test_case "fold handles a missing trailing newline" `Quick
+      (fun () ->
+        let path = Filename.temp_file "dlearn_eof" ".csv" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            let oc = open_out_bin path in
+            output_string oc "a,b\nc,d";
+            close_out oc;
+            let records =
+              Csv.fold_records path ~init:[] ~f:(fun acc _line fields ->
+                  fields :: acc)
+            in
+            Alcotest.(check (list (list string)))
+              "both records" [ [ "a"; "b" ]; [ "c"; "d" ] ] (List.rev records)));
+    Alcotest.test_case "fold skips blank lines but counts them" `Quick
+      (fun () ->
+        let path = Filename.temp_file "dlearn_blank" ".csv" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            let oc = open_out_bin path in
+            output_string oc "a,b\n\nc,d\n";
+            close_out oc;
+            let records =
+              Csv.fold_records path ~init:[] ~f:(fun acc line fields ->
+                  (line, fields) :: acc)
+            in
+            (* The blank line is skipped yet still advances line numbers —
+               what load's arity errors report. *)
+            Alcotest.(check (list (list string)))
+              "records" [ [ "a"; "b" ]; [ "c"; "d" ] ]
+              (List.rev_map snd records);
+            Alcotest.(check (list int)) "line numbers" [ 1; 3 ]
+              (List.rev_map fst records)));
+    Alcotest.test_case "load reports arity errors with line numbers" `Quick
+      (fun () ->
+        let schema = Schema.string_attrs "m" [ "id"; "title" ] in
+        let path = Filename.temp_file "dlearn_arity" ".csv" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            let oc = open_out_bin path in
+            output_string oc "m1,Alien\nm2,Up,extra\n";
+            close_out oc;
+            match Csv.load schema path with
+            | _ -> Alcotest.fail "expected arity failure"
+            | exception Invalid_argument msg ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "message names line 2: %s" msg)
+                  true
+                  (let sub = "line 2" in
+                   let rec contains i =
+                     i + String.length sub <= String.length msg
+                     && (String.sub msg i (String.length sub) = sub
+                        || contains (i + 1))
+                   in
+                   contains 0)));
+    Alcotest.test_case "scan streams a stored relation without loading it"
+      `Quick (fun () ->
+        with_temp_dir (fun dir ->
+            let db = Database.create () in
+            Database.add_relation db (movies_relation ());
+            Storage.save db dir;
+            let expected = Relation.cardinality (Database.find db "movies") in
+            let rows =
+              Storage.scan dir "movies" ~init:0 ~f:(fun acc tu ->
+                  (* Tuples arrive typed against the manifest schema. *)
+                  (match Tuple.get tu 0 with
+                  | Value.String _ -> ()
+                  | v ->
+                      Alcotest.failf "expected string id, got %s"
+                        (Value.to_string v));
+                  acc + 1)
+            in
+            Alcotest.(check int) "all rows scanned" expected rows;
+            Alcotest.(check bool) "unknown relation rejected" true
+              (try
+                 ignore (Storage.scan dir "nope" ~init:0 ~f:(fun a _ -> a));
+                 false
+               with Invalid_argument _ -> true)));
+    Alcotest.test_case "lazy load defers relations until first access" `Quick
+      (fun () ->
+        with_temp_dir (fun dir ->
+            let db = Database.create () in
+            Database.add_relation db (movies_relation ());
+            let prices =
+              Database.create_relation db
+                (Schema.make "prices"
+                   [
+                     { Schema.attr_name = "id"; domain = Schema.Dstring };
+                     { Schema.attr_name = "amount"; domain = Schema.Dint };
+                   ])
+            in
+            ignore
+              (Relation.insert prices
+                 (Tuple.make [ Value.String "m1"; Value.Int 12 ]));
+            Storage.save db dir;
+            let db2 = Storage.load ~lazy_load:true dir in
+            Alcotest.(check int) "all pending" 2 (Database.pending_count db2);
+            Alcotest.(check bool) "movies not loaded" false
+              (Database.is_loaded db2 "movies");
+            (* Names are known without touching any CSV. *)
+            Alcotest.(check (list string)) "names visible"
+              (Database.relation_names db) (Database.relation_names db2);
+            (* First access forces exactly that relation. *)
+            let m = Database.find db2 "movies" in
+            Alcotest.(check int) "movies loaded in full"
+              (Relation.cardinality (Database.find db "movies"))
+              (Relation.cardinality m);
+            Alcotest.(check bool) "movies now loaded" true
+              (Database.is_loaded db2 "movies");
+            Alcotest.(check int) "prices still pending" 1
+              (Database.pending_count db2);
+            (* materialize forces the rest; contents match an eager load. *)
+            Database.materialize db2;
+            Alcotest.(check int) "nothing pending" 0
+              (Database.pending_count db2);
+            Alcotest.(check int) "same tuples" (Database.total_tuples db)
+              (Database.total_tuples db2)));
+  ]
+
 let stress_tests =
   [
     Alcotest.test_case "100k-tuple relation stays responsive" `Slow (fun () ->
@@ -430,6 +599,7 @@ let () =
       ("index", index_tests);
       ("text_table", text_table_tests);
       ("storage", storage_tests);
+      ("streaming", streaming_tests);
       ("stress", stress_tests);
       ("properties", qcheck_tests);
     ]

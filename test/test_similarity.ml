@@ -280,6 +280,151 @@ let qcheck_tests =
             norm blocked = norm brute)));
   ]
 
+(* {2 Candidate dedup}
+
+   A query sharing k grams with a stored value must reach the measure
+   exactly once for that value, not k times — pinned through the
+   [sim_index.measured] counter rather than timing. *)
+let dedup_tests =
+  let module Obs = Dlearn_obs.Obs in
+  let measured = Obs.counter "sim_index.measured" in
+  let candidates = Obs.counter "sim_index.candidates" in
+  [
+    Alcotest.test_case "value sharing many grams is measured once" `Quick
+      (fun () ->
+        (* "abcdefgh" yields 10 padded trigrams, every one shared with the
+           identical query — yet one candidate, one measure call. *)
+        let idx = Sim_index.create [ "abcdefgh" ] in
+        let m0 = Obs.value measured and c0 = Obs.value candidates in
+        let hits = Sim_index.query idx ~km:5 ~threshold:0.5 "abcdefgh" in
+        Alcotest.(check int) "1 hit" 1 (List.length hits);
+        Alcotest.(check int) "1 candidate" 1 (Obs.value candidates - c0);
+        Alcotest.(check int) "1 measure call" 1 (Obs.value measured - m0));
+    Alcotest.test_case "each candidate measured at most once" `Quick (fun () ->
+        let values = [ "star wars"; "star trek"; "star gate"; "moonrise" ] in
+        let idx = Sim_index.create values in
+        let m0 = Obs.value measured and c0 = Obs.value candidates in
+        ignore (Sim_index.query idx ~km:5 ~threshold:0.1 "star warp");
+        let n_candidates = Obs.value candidates - c0 in
+        Alcotest.(check bool)
+          (Printf.sprintf "measured (%d) <= candidates (%d)"
+             (Obs.value measured - m0) n_candidates)
+          true
+          (Obs.value measured - m0 <= n_candidates);
+        Alcotest.(check bool) "candidates <= stored values" true
+          (n_candidates <= List.length values));
+    Alcotest.test_case "length prefilter prunes before measuring" `Quick
+      (fun () ->
+        let pruned = Obs.counter "sim_index.length_pruned" in
+        (* A 2-char query against a 40-char value: score ceiling
+           (1 + 2/40)/2 = 0.525 < 0.9, so the measure must not run. *)
+        let long = String.make 40 'a' in
+        let idx = Sim_index.create [ long ] in
+        let m0 = Obs.value measured and p0 = Obs.value pruned in
+        let hits = Sim_index.query idx ~km:5 ~threshold:0.9 "aa" in
+        Alcotest.(check int) "no hits" 0 (List.length hits);
+        Alcotest.(check int) "pruned once" 1 (Obs.value pruned - p0);
+        Alcotest.(check int) "never measured" 0 (Obs.value measured - m0));
+  ]
+
+(* {2 Build determinism}
+
+   The sharded build's posting content must be byte-identical whatever
+   the pool size and whichever build strategy ran — the chunked path is
+   forced via DLEARN_SIM_CHUNKED so the pin holds even on single-core
+   hosts where the spare-parallelism rule would pick the direct path. *)
+let determinism_tests =
+  let module Pool = Dlearn_parallel.Pool in
+  let values =
+    (* Enough distinct values to cross the 4096-value chunk size and get
+       a multi-shard index, with repeats to exercise sort_uniq. *)
+    List.init 9000 (fun i ->
+        Printf.sprintf "product %c%d model %d"
+          (Char.chr (Char.code 'a' + (i mod 17)))
+          (i mod 4111) (i * 31 mod 257))
+  in
+  let with_chunked mode f =
+    let previous = Option.value ~default:"" (Sys.getenv_opt "DLEARN_SIM_CHUNKED") in
+    Unix.putenv "DLEARN_SIM_CHUNKED" mode;
+    Fun.protect ~finally:(fun () -> Unix.putenv "DLEARN_SIM_CHUNKED" previous) f
+  in
+  [
+    Alcotest.test_case "parallel chunked build equals sequential direct build"
+      `Quick (fun () ->
+        let direct =
+          with_chunked "never" (fun () ->
+              Sim_index.postings_digest (Sim_index.create ~jobs:1 values))
+        in
+        (* Force real fan-out: chunked strategy and a pool that never
+           inlines batches. *)
+        Pool.set_cost_model ~fanout_threshold:0 ();
+        let chunked =
+          Fun.protect ~finally:Pool.reset_cost_model (fun () ->
+              with_chunked "always" (fun () ->
+                  Sim_index.postings_digest (Sim_index.create ~jobs:8 values)))
+        in
+        Alcotest.(check string) "digest" direct chunked);
+    Alcotest.test_case "digest is stable across jobs 1/4/8" `Quick (fun () ->
+        let digest jobs =
+          Sim_index.postings_digest (Sim_index.create ~jobs values)
+        in
+        let d1 = digest 1 in
+        Alcotest.(check string) "jobs 4" d1 (digest 4);
+        Alcotest.(check string) "jobs 8" d1 (digest 8));
+    Alcotest.test_case "chunked and direct answer queries identically" `Quick
+      (fun () ->
+        let direct = with_chunked "never" (fun () -> Sim_index.create values) in
+        let chunked =
+          with_chunked "always" (fun () -> Sim_index.create values)
+        in
+        List.iter
+          (fun q ->
+            Alcotest.(check (list (pair string (float 1e-9))))
+              ("query " ^ q)
+              (Sim_index.query direct ~km:5 ~threshold:0.6 q)
+              (Sim_index.query chunked ~km:5 ~threshold:0.6 q))
+          [ "product a100 model 7"; "product q4000"; "unrelated string" ]);
+  ]
+
+(* {2 Blocked = brute across thresholds and pool sizes}
+
+   Exactness argument per configuration:
+   - n=1, θ ∈ {0.6, 0.8}: a paper-operator score ≥ θ > 0.5 forces
+     SWG > 0, i.e. at least one aligned character pair — so query and
+     value share a character, which with unigram blocking means the
+     value is always a candidate.
+   - n=3, θ = 0.9: any qualifying pair is close enough in edit
+     structure to share a padded trigram (at lower thresholds this
+     fails: "ab" vs "ba" scores 0.75 sharing no trigram). *)
+let scale_qcheck_tests =
+  let nonempty_word =
+    QCheck.make
+      ~print:(fun s -> s)
+      QCheck.Gen.(string_size ~gen:(char_range 'a' 'e') (1 -- 10))
+  in
+  let gen =
+    QCheck.pair nonempty_word
+      (QCheck.list_of_size (QCheck.Gen.int_range 1 12) nonempty_word)
+  in
+  let norm l = List.sort compare l in
+  List.concat_map
+    (fun (threshold, n) ->
+      List.map
+        (fun jobs ->
+          QCheck_alcotest.to_alcotest
+            (QCheck.Test.make
+               ~name:
+                 (Printf.sprintf
+                    "blocked = brute at threshold %.1f, n=%d, jobs=%d" threshold
+                    n jobs)
+               ~count:150 gen
+               (fun (q, vs) ->
+                 let idx = Sim_index.create ~n ~jobs vs in
+                 norm (Sim_index.query idx ~km:10 ~threshold q)
+                 = norm (Sim_index.query_brute idx ~km:10 ~threshold q))))
+        [ 1; 4; 8 ])
+    [ (0.6, 1); (0.8, 1); (0.9, 3) ]
+
 let () =
   Alcotest.run "similarity"
     [
@@ -292,4 +437,7 @@ let () =
       ("sim_index", sim_index_tests);
       ("measures", measure_tests);
       ("properties", qcheck_tests);
+      ("dedup", dedup_tests);
+      ("determinism", determinism_tests);
+      ("scale_properties", scale_qcheck_tests);
     ]
