@@ -1262,6 +1262,108 @@ let bench_scale ~folds:_ ~n () =
   Printf.printf "wrote BENCH_scale.json\n\n"
 
 (* ------------------------------------------------------------------ *)
+(* Serve: warm-state learn latency after a small committed delta vs a
+   cold from-scratch run (ISSUE: the long-lived service must beat
+   restarting the CLI by >= 5x on imdb3 while learning byte-identical
+   definitions). Both sides go through the serve request path
+   ([Server.handle]), so the comparison isolates the warm caches: the
+   cold run pays every bottom clause, ground repair enumeration and
+   verdict from nothing; the warm run pays only what the delta's
+   monotone invalidation dropped. Emits BENCH_serve.json. *)
+
+let bench_serve ~folds:_ ~n () =
+  let open Dlearn_serve in
+  let jobs = max 2 !bench_jobs in
+  Printf.printf "== Serve: warm learn after a delta vs cold restart ==\n%!";
+  let base = Imdb_omdb.generate ?n `Three_mds in
+  let fresh () =
+    let w = Experiment.with_jobs base jobs in
+    { w with Workload.db = Database.copy w.Workload.db }
+  in
+  (* The delta: one movie whose values appear nowhere else, so the
+     invalidation stays small — the serve loop's intended workload shape
+     (a trickle of new tuples between learns). *)
+  let delta = [ "tt99990"; "Bench Delta Movie (2099)"; "y2099" ] in
+  let learn_req = Protocol.request "learn" [] in
+  let clauses_of resp =
+    match Json.list_field "clauses" resp with
+    | Some items ->
+        List.map
+          (function Json.String s -> s | _ -> failwith "bad clause") items
+    | None -> failwith "learn failed"
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  (* Cold: a fresh state over a database that already holds the delta —
+     what restarting the CLI after the insert would compute. *)
+  let cold_w = fresh () in
+  ignore
+    (Relation.insert
+       (Database.find cold_w.Workload.db "imdb_movies")
+       (Tuple.of_strings delta));
+  let cold_state = Server.create cold_w in
+  let cold_s, cold_resp = time (fun () -> Server.handle cold_state learn_req) in
+  let cold_clauses = clauses_of cold_resp in
+  (* Warm: prime a server, commit the delta through the insert op, learn
+     again on the surviving caches. *)
+  let warm_state = Server.create (fresh ()) in
+  let prime_s, _ = time (fun () -> Server.handle warm_state learn_req) in
+  let insert_resp =
+    Server.handle warm_state
+      (Protocol.request "insert"
+         [
+           ("relation", Json.String "imdb_movies");
+           ("values", Json.List (List.map (fun s -> Json.String s) delta));
+         ])
+  in
+  if not (Protocol.is_ok insert_resp) then
+    failwith ("bench serve: insert failed: "
+              ^ Protocol.error_of_response insert_resp);
+  let invalidated =
+    match Json.int_field "invalidated" insert_resp with
+    | Some v -> v
+    | None -> -1
+  in
+  let warm_s, warm_resp = time (fun () -> Server.handle warm_state learn_req) in
+  let warm_clauses = clauses_of warm_resp in
+  let identical = warm_clauses = cold_clauses in
+  let speedup = cold_s /. warm_s in
+  Printf.printf
+    "cold learn %.3fs | prime %.3fs | delta invalidated %d examples | warm \
+     learn %.3fs (%.1fx) | identical=%b\n%!"
+    cold_s prime_s invalidated warm_s speedup identical;
+  if not identical then
+    failwith "bench serve: warm definition differs from the cold run";
+  if speedup < 5.0 then
+    failwith
+      (Printf.sprintf "bench serve: warm speedup %.1fx is below the 5x floor"
+         speedup);
+  let oc = open_out "BENCH_serve.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"serve\",\n\
+    \  \"dataset\": \"imdb3\",\n\
+    \  \"n\": %d,\n\
+    \  \"jobs\": %d,\n\
+    \  \"cold_learn_s\": %.6f,\n\
+    \  \"prime_learn_s\": %.6f,\n\
+    \  \"delta\": {\"relation\": \"imdb_movies\", \"invalidated_examples\": \
+     %d},\n\
+    \  \"warm_learn_s\": %.6f,\n\
+    \  \"speedup_warm_vs_cold\": %.3f,\n\
+    \  \"definitions_identical\": %b,\n\
+    \  \"clauses\": %d%s}\n"
+    (match n with Some v -> v | None -> -1)
+    jobs cold_s prime_s invalidated warm_s speedup identical
+    (List.length warm_clauses)
+    (obs_field ());
+  close_out oc;
+  Printf.printf "wrote BENCH_serve.json\n\n"
+
+(* ------------------------------------------------------------------ *)
 
 let all_benches =
   [
@@ -1280,6 +1382,7 @@ let all_benches =
     ("subsumption", bench_subsumption);
     ("normalize", bench_normalize);
     ("scale", bench_scale);
+    ("serve", bench_serve);
   ]
 
 let usage ?(code = 1) () =

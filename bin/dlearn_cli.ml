@@ -538,7 +538,7 @@ let export_cmd =
   in
   let run dataset n p dir =
     let w = apply_overrides (make_dataset ?n dataset) None None p in
-    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    Storage.mkdir_p dir;
     List.iter
       (fun r ->
         let path = Filename.concat dir (Relation.name r ^ ".csv") in
@@ -550,6 +550,87 @@ let export_cmd =
     (Cmd.info "export" ~doc:"Export a generated workload as CSV files.")
     Term.(const run $ dataset_arg $ n_arg $ p_arg $ dir_arg)
 
+(* dlearn serve *)
+let socket_arg =
+  let doc = "Unix-domain socket path the server listens on." in
+  Arg.(
+    value
+    & opt string "dlearn.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let run dataset n km depth p jobs trace verbose socket =
+    setup_logs verbose;
+    let w = apply_overrides (make_dataset ?n dataset) km depth p in
+    let w = match jobs with Some j -> Experiment.with_jobs w j | None -> w in
+    (match trace with
+    | Some _ ->
+        Dlearn_obs.Obs.set_metrics true;
+        Dlearn_obs.Obs.start_recording ()
+    | None -> ());
+    let state = Dlearn_serve.Server.create w in
+    (* SIGINT/SIGTERM stop the accept loop so the trace still lands. *)
+    let request_stop _ = Dlearn_serve.Server.stop state in
+    (try Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop)
+     with Invalid_argument _ -> ());
+    (try Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop)
+     with Invalid_argument _ -> ());
+    Printf.printf "serving %s on %s\n%!" w.Workload.name socket;
+    Dlearn_serve.Server.run state ~socket_path:socket;
+    (match trace with
+    | Some path ->
+        Dlearn_obs.Obs.write_trace path;
+        Printf.printf "wrote %s\n" path
+    | None -> ());
+    print_endline "server stopped"
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a workload over a Unix socket: concurrent learn / coverage \
+          / query / insert requests against one warm learning state — see \
+          docs/SERVE.md.")
+    Term.(
+      const run $ dataset_arg $ n_arg $ km_arg $ depth_arg $ p_arg $ jobs_arg
+      $ trace_arg $ verbose_arg $ socket_arg)
+
+(* dlearn client *)
+let client_cmd =
+  let request_arg =
+    let doc =
+      "The request to send, as a JSON object with an \"op\" field, e.g. \
+       '{\"op\":\"status\"}' or \
+       '{\"op\":\"insert\",\"relation\":\"imdb_movies\",\"values\":[...]}'."
+    in
+    Arg.(
+      required & pos 0 (some string) None & info [] ~docv:"REQUEST" ~doc)
+  in
+  let wait_arg =
+    let doc = "Keep retrying the connection until the server is up." in
+    Arg.(value & flag & info [ "wait" ] ~doc)
+  in
+  let run socket wait request =
+    let open Dlearn_serve in
+    match Json.of_string_opt request with
+    | None ->
+        Printf.eprintf "request is not valid JSON\n";
+        exit 2
+    | Some req ->
+        let c =
+          if wait then Client.connect_retry socket else Client.connect socket
+        in
+        let resp = Client.request c req in
+        Client.close c;
+        print_endline (Json.to_string resp);
+        if not (Protocol.is_ok resp) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send one JSON request to a running dlearn server and print the \
+          response; exit 1 on an {\"ok\":false} response.")
+    Term.(const run $ socket_arg $ wait_arg $ request_arg)
+
 let main =
   let info =
     Cmd.info "dlearn" ~version:"1.0.0"
@@ -558,7 +639,7 @@ let main =
   Cmd.group info
     [
       datasets_cmd; learn_cmd; show_cmd; query_cmd; explain_cmd; profile_cmd;
-      check_cmd; genscale_cmd; scan_cmd; export_cmd;
+      check_cmd; genscale_cmd; scan_cmd; export_cmd; serve_cmd; client_cmd;
     ]
 
 let () = exit (Cmd.eval main)

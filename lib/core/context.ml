@@ -31,7 +31,7 @@ type t = {
   db : Database.t;
   mds : Md.t list;
   cfds : Cfd.t list;
-  rng : Random.State.t;
+  mutable rng : Random.State.t;
   sim_indexes : (string * int, Dlearn_similarity.Sim_index.t) Hashtbl.t;
   sim_lock : Mutex.t;
   ground_cache : (string, ground_entry) Hashtbl.t;
@@ -45,6 +45,13 @@ type t = {
   cover_cache : Cover_set.entry Cover_set.Clause_tbl.t;
   cover_lock : Mutex.t;
   cover_stats : cover_stats;
+  (* example key -> canonical parent-clause rendering -> ARMG result.
+     ARMG is deterministic in (parent clause, the example's ground
+     entry), so entries stay valid exactly as long as the ground entry
+     does; [apply_delta] drops an affected example's inner table
+     alongside its ground entry. *)
+  armg_cache : (string, (string, Dlearn_logic.Clause.t option) Hashtbl.t) Hashtbl.t;
+  armg_lock : Mutex.t;
 }
 
 let create config db mds cfds =
@@ -78,6 +85,8 @@ let create config db mds cfds =
     example_lock = Mutex.create ();
     cover_cache = Cover_set.Clause_tbl.create 256;
     cover_lock = Mutex.create ();
+    armg_cache = Hashtbl.create 64;
+    armg_lock = Mutex.create ();
     cover_stats =
       {
         tested = Obs.counter "coverage.tested";
@@ -88,6 +97,12 @@ let create config db mds cfds =
   }
 
 let pool t = Dlearn_parallel.Pool.get t.config.Config.num_domains
+
+(* Rewind the sampling stream to the seed. A long-lived context (the
+   serve loop) calls this at the start of every learn request so a warm
+   learn draws exactly the samples a cold run would — byte-identical
+   definitions. *)
+let reset_rng t = t.rng <- Random.State.make [| t.config.Config.seed |]
 
 (* Building an index is expensive but happens once per (relation,
    attribute); holding the lock across the build deduplicates the work
@@ -138,6 +153,39 @@ let cover_entry t clause =
           Cover_set.Clause_tbl.add t.cover_cache clause e;
           e)
 
+let armg_hits_c = Obs.counter "armg.cache_hits"
+let armg_computed_c = Obs.counter "armg.computed"
+
+(* Memoize one ARMG generalization. [ckey] must render the parent clause
+   canonically (the caller computes [Clause.to_string (Clause.canonical c)]
+   once per parent). Concurrent misses on one key may both run [compute];
+   the function is deterministic, so the duplicate write is harmless. *)
+let armg_cached t e' ckey compute =
+  let ekey = example_key e' in
+  match
+    Mutex.protect t.armg_lock (fun () ->
+        match Hashtbl.find_opt t.armg_cache ekey with
+        | None -> None
+        | Some inner -> Hashtbl.find_opt inner ckey)
+  with
+  | Some r ->
+      Obs.incr armg_hits_c;
+      r
+  | None ->
+      let r = compute () in
+      Obs.incr armg_computed_c;
+      Mutex.protect t.armg_lock (fun () ->
+          let inner =
+            match Hashtbl.find_opt t.armg_cache ekey with
+            | Some inner -> inner
+            | None ->
+                let inner = Hashtbl.create 8 in
+                Hashtbl.add t.armg_cache ekey inner;
+                inner
+          in
+          Hashtbl.replace inner ckey r);
+      r
+
 let is_searchable_attr t rel pos =
   match t.config.Config.searchable_attrs with
   | [] -> true
@@ -152,6 +200,156 @@ let is_searchable_attr t rel pos =
                  String.equal r rel
                  && String.equal a (Schema.attr_name schema pos))
                declared)
+
+(* {2 Monotone cache invalidation}
+
+   A committed tuple delta must not rebuild the context: only the
+   examples whose bottom clauses could change re-resolve. An example is
+   {e affected} by a changed tuple iff the tuple could enter (or leave)
+   its bottom clause, and every route in — the exact index search on a
+   clause constant, or an MD similarity search driven by one — starts
+   from a constant already present in the cached ground clause (the
+   ground clause keeps every gathered value, including the example's
+   own). Exact searches probe any attribute; similarity searches run
+   only over MD-compared attribute pairs, each under that MD's effective
+   spec. So the sound over-approximation is: some changed tuple value is
+   equal to some constant of the cached ground clause, or — at a
+   position some MD compares — similar to one under that MD's operator.
+   Affected examples lose their ground
+   entries and their bits in every cover-cache entry
+   ([Cover_set.invalidate]); similarity indexes over changed relations
+   are dropped (their distinct-value sets changed) and rebuild lazily.
+   Everything else — unaffected verdicts, prepared targets, the learned
+   SAT state inside surviving targets — carries across the commit.
+   docs/SERVE.md states the soundness argument in full. *)
+
+let delta_commits_c = Obs.counter "delta.commits"
+let delta_invalidated_c = Obs.counter "delta.invalidated_examples"
+let delta_sim_dropped_c = Obs.counter "delta.sim_indexes_dropped"
+
+(* The specs under which a changed value at [(rel, pos)] can
+   similarity-match a clause constant: the effective specs of the MDs
+   comparing that attribute (bottom-clause gather's only similarity
+   searches run over MD-compared pairs under exactly those specs). A
+   value at a position no MD compares can enter a bottom clause only
+   through the exact index search, so equality alone covers it — this is
+   what keeps a new tuple's year or id from invalidating every example
+   whose year is one edit away. *)
+let specs_by_pos t rel =
+  match Database.find_opt t.db rel with
+  | None -> [||]
+  | Some relation ->
+      let schema = Relation.schema relation in
+      Array.init (Schema.arity schema) (fun pos ->
+          let attr = Schema.attr_name schema pos in
+          List.filter_map
+            (fun (md : Md.t) ->
+              let compared_here =
+                (String.equal md.Md.left_rel rel
+                && List.exists
+                     (fun (a, _) -> String.equal a attr)
+                     md.Md.compared)
+                || String.equal md.Md.right_rel rel
+                   && List.exists
+                        (fun (_, b) -> String.equal b attr)
+                        md.Md.compared
+              in
+              if compared_here then
+                Some (Md.effective_spec md t.config.Config.sim)
+              else None)
+            t.mds)
+
+(* All constants of a clause, including inside repair conditions and
+   drops, each expanded to its merge components (a merged value v_{a,b}
+   joins new data through its base strings). *)
+let clause_constants clause =
+  let acc = ref [] in
+  let collect term =
+    (match term with
+    | Dlearn_logic.Term.Const v ->
+        acc := v :: !acc;
+        if Md.Merge.is_merged v then
+          List.iter
+            (fun s -> acc := Value.String s :: !acc)
+            (Md.Merge.components v)
+    | Dlearn_logic.Term.Var _ -> ());
+    term
+  in
+  ignore (Dlearn_logic.Clause.map_terms collect clause);
+  !acc
+
+let value_touches consts (v, specs) =
+  List.exists
+    (fun c ->
+      Value.equal c v || List.exists (fun spec -> Md.similar spec c v) specs)
+    consts
+
+let apply_delta t changes =
+  Obs.incr delta_commits_c;
+  let changed_rels = List.map fst changes in
+  (* Changed relations' similarity indexes are stale (their distinct
+     values changed): drop them, they rebuild lazily on next use. *)
+  Mutex.protect t.sim_lock (fun () ->
+      let stale =
+        Hashtbl.fold
+          (fun (rel, pos) _ acc ->
+            if List.exists (String.equal rel) changed_rels then
+              (rel, pos) :: acc
+            else acc)
+          t.sim_indexes []
+      in
+      List.iter (fun key -> Hashtbl.remove t.sim_indexes key) stale;
+      Obs.add delta_sim_dropped_c (List.length stale));
+  let changed_values =
+    List.concat_map
+      (fun (rel, tuples) ->
+        let specs = specs_by_pos t rel in
+        List.concat_map
+          (fun tu ->
+            List.filter_map
+              (fun pos ->
+                let v = Tuple.get tu pos in
+                if Value.is_null v then None
+                else
+                  Some
+                    ( v,
+                      if pos < Array.length specs then specs.(pos) else [] ))
+              (List.init (Tuple.arity tu) Fun.id))
+          tuples)
+      changes
+  in
+  (* Affected examples: scan the cached ground clauses. Every example the
+     coverage engine ever tested has one (coverage always grounds first),
+     so the scan covers every recorded verdict. *)
+  let affected =
+    Mutex.protect t.ground_lock (fun () ->
+        Hashtbl.fold
+          (fun key entry acc ->
+            let consts = clause_constants entry.ground in
+            if List.exists (value_touches consts) changed_values then
+              key :: acc
+            else acc)
+          t.ground_cache [])
+  in
+  Mutex.protect t.ground_lock (fun () ->
+      List.iter (fun key -> Hashtbl.remove t.ground_cache key) affected);
+  (* ARMG results are functions of the ground entry: same lifetime. *)
+  Mutex.protect t.armg_lock (fun () ->
+      List.iter (fun key -> Hashtbl.remove t.armg_cache key) affected);
+  let ids =
+    Mutex.protect t.example_lock (fun () ->
+        List.filter_map (fun key -> Hashtbl.find_opt t.example_ids key) affected)
+  in
+  if ids <> [] then begin
+    let mask = Cover_set.Bitset.of_list ids in
+    let entries =
+      Mutex.protect t.cover_lock (fun () ->
+          Cover_set.Clause_tbl.fold (fun _ e acc -> e :: acc) t.cover_cache [])
+    in
+    List.iter (fun e -> Cover_set.invalidate e mask) entries
+  end;
+  Obs.add delta_invalidated_c (List.length affected);
+  List.length affected
 
 let is_constant_attr t rel pos =
   match Database.find_opt t.db rel with

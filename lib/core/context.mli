@@ -42,7 +42,9 @@ type t = {
   db : Dlearn_relation.Database.t;
   mds : Dlearn_constraints.Md.t list;
   cfds : Dlearn_constraints.Cfd.t list;
-  rng : Random.State.t;
+  mutable rng : Random.State.t;
+      (** the learner's sampling stream; {!reset_rng} rewinds it so a
+          warm-context learn replays a cold run's draws exactly *)
   sim_indexes : (string * int, Dlearn_similarity.Sim_index.t) Hashtbl.t;
   sim_lock : Mutex.t;  (** guards [sim_indexes] *)
   ground_cache : (string, ground_entry) Hashtbl.t;
@@ -56,6 +58,13 @@ type t = {
           access through {!cover_entry} *)
   cover_lock : Mutex.t;  (** guards [cover_cache] (not the entries) *)
   cover_stats : cover_stats;
+  armg_cache :
+    (string, (string, Dlearn_logic.Clause.t option) Hashtbl.t) Hashtbl.t;
+      (** example key → canonical parent-clause rendering → memoized ARMG
+          result; access through {!armg_cached}. Entries live exactly as
+          long as the example's ground entry ({!apply_delta} drops both
+          together). *)
+  armg_lock : Mutex.t;  (** guards [armg_cache] *)
 }
 
 (** [create config db mds cfds] prepares the context: one similarity index
@@ -73,6 +82,31 @@ val create :
 (** [pool t] is the shared domain pool of [config.num_domains] domains
     the coverage engine fans out on; size 1 is the sequential path. *)
 val pool : t -> Dlearn_parallel.Pool.t
+
+(** [reset_rng t] rewinds the sampling stream to [config.seed]. A
+    long-lived context (the serve loop) calls this before every learn
+    request so warm learns are byte-identical to cold runs. *)
+val reset_rng : t -> unit
+
+(** [apply_delta t changes] invalidates exactly the state a committed
+    tuple delta can touch, and returns the number of examples
+    invalidated. [changes] lists, per changed relation, every touched
+    tuple (new values for inserts, new and previous for updates —
+    {!Dlearn_relation.Vdb.changed_tuples} produces this shape). An
+    example is invalidated iff some changed value is equal to some
+    constant of its cached ground bottom clause, or — at an attribute
+    position some MD compares — similar to one under that MD's
+    effective operator; a sound over-approximation of "the bottom
+    clause could change" (docs/SERVE.md): its ground entry and memoized
+    ARMG results are dropped and its bits leave every cover-cache
+    entry. Similarity
+    indexes over changed relations are dropped and rebuild lazily.
+    Counters: [delta.commits], [delta.invalidated_examples],
+    [delta.sim_indexes_dropped]. Callers must order this against
+    concurrent coverage requests (the serve loop holds the writer
+    lock). *)
+val apply_delta :
+  t -> (string * Dlearn_relation.Tuple.t list) list -> int
 
 (** [sim_index t rel pos] is the index over the distinct values of the
     attribute (built lazily on first use; safe to call from any domain). *)
@@ -93,6 +127,23 @@ val example_count : t -> int
     empty on first use. [clause] {b must} be in [Clause.canonical] form —
     the cache identifies clauses up to body order and duplicates. *)
 val cover_entry : t -> Dlearn_logic.Clause.t -> Cover_set.entry
+
+(** [armg_cached t e' ckey compute] memoizes one ARMG generalization
+    against positive example [e']: [ckey] must be the canonical rendering
+    of the parent clause ([Clause.to_string (Clause.canonical c)]), and
+    [compute] the generalization itself. ARMG is deterministic in the
+    parent clause and [e']'s ground bottom clause, so a hit returns
+    byte-identical output to recomputing; {!apply_delta} drops an
+    affected example's entries together with its ground entry. Safe from
+    any domain (concurrent misses may duplicate [compute]; the
+    deterministic result makes the race benign). Counters:
+    [armg.cache_hits], [armg.computed]. *)
+val armg_cached :
+  t ->
+  Dlearn_relation.Tuple.t ->
+  string ->
+  (unit -> Dlearn_logic.Clause.t option) ->
+  Dlearn_logic.Clause.t option
 
 (** [is_constant_attr t rel pos] holds when clauses represent that
     attribute's values as constants. *)

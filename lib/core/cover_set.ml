@@ -156,6 +156,17 @@ let entry () =
     neg_covered = Bitset.empty;
   }
 
+(* Forget the verdicts of the masked example ids — the monotone
+   invalidation a committed tuple delta triggers: the ids leave both the
+   tested and covered sets, so the next query recomputes them against
+   the new database while every other verdict survives. *)
+let invalidate e mask =
+  Mutex.protect e.lock (fun () ->
+      e.pos_tested <- Bitset.diff e.pos_tested mask;
+      e.pos_covered <- Bitset.diff e.pos_covered mask;
+      e.neg_tested <- Bitset.diff e.neg_tested mask;
+      e.neg_covered <- Bitset.diff e.neg_covered mask)
+
 (* Canonical-clause keys, same scheme as Clause_repair's internal table:
    structural equality on the (sorted, deduplicated) body with the
    depth-limited polymorphic hash — no string rendering. *)

@@ -66,6 +66,12 @@ type entry = {
 val entry : unit -> entry
 (** A fresh all-empty entry with its own lock. *)
 
+val invalidate : entry -> Bitset.t -> unit
+(** [invalidate e mask] forgets the verdicts of the ids in [mask] (they
+    leave the tested and covered sets of both polarities, under the
+    entry's lock) — the per-example invalidation a committed tuple delta
+    triggers; every other verdict survives. *)
+
 module Clause_tbl : Hashtbl.S with type key = Dlearn_logic.Clause.t
 (** Hashtable keyed on canonical clauses ([Clause.canonical] forms):
     structural equality, polymorphic hash of [(head, body)]. *)

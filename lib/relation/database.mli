@@ -7,10 +7,12 @@
     [Storage.load ~lazy_load:true]): the loader thunk runs on first
     access and the result is cached, so a CLI run that touches two of
     ten relations never pays for the other eight. Lookups in a fully
-    materialized database are the same single hash probe as before;
-    forcing a pending relation is serialized under an internal lock.
-    Force everything ({!materialize}) before sharing a database across
-    domains. *)
+    materialized database are a single atomic load plus the same hash
+    probe as before; while any thunk is outstanding {b every} lookup is
+    serialized under an internal lock, so concurrent finds can never
+    observe the catalog mid-way through a force's [Hashtbl.replace].
+    The summaries ({!total_tuples}, {!pp_summary}, {!copy}) never force:
+    pending relations are reported (and copied) as pending. *)
 
 type t
 
@@ -55,9 +57,25 @@ val relations : t -> Relation.t list
 
 val relation_names : t -> string list
 
+(** Total tuples across {b loaded} relations; pending relations count
+    for zero (never forced). *)
 val total_tuples : t -> int
 
-(** [copy t] deep-copies every relation — used when producing repairs. *)
+(** [copy t] deep-copies every loaded relation — used when producing
+    repairs. Pending relations stay pending in the copy, sharing the
+    loader thunk (it re-runs on the copy's first access). *)
 val copy : t -> t
 
+(** Never forces: pending relations print as [name: pending]. *)
 val pp_summary : Format.formatter -> t -> unit
+
+(** [snapshot t] is an immutable point-in-time view: every relation is a
+    {!Relation.snapshot} sharing the live stores (O(relations) overall).
+    Pending relations {b are} forced first — a version handle needs the
+    data. Used by {!Vdb} to mint version handles. *)
+val snapshot : t -> t
+
+(** [replace_relation t r] rebinds the loaded relation named like [r] to
+    [r] — the versioned layer's commit hook for copy-on-write updates.
+    @raise Invalid_argument when no loaded relation has that name. *)
+val replace_relation : t -> Relation.t -> unit

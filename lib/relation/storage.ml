@@ -12,8 +12,23 @@ let domain_of_string = function
 let manifest_path dir = Filename.concat dir "manifest.txt"
 let csv_path dir name = Filename.concat dir (name ^ ".csv")
 
+(* Recursive, race-tolerant mkdir: nested dataset directories must work,
+   and two writers racing on the same directory must both succeed —
+   [Sys.file_exists]-then-[mkdir] alone is a TOCTOU window where the
+   loser crashes on EEXIST. Errors other than "already there" (e.g. a
+   file occupying the path, permission denied) still raise. *)
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.file_exists dir && Sys.is_directory dir -> ()
+  end
+  else if not (Sys.is_directory dir) then
+    invalid_arg (Printf.sprintf "Storage: %s exists and is not a directory" dir)
+
 let write_manifest dir schemas =
-  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  mkdir_p dir;
   let oc = open_out (manifest_path dir) in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)

@@ -20,9 +20,15 @@ val save : Database.t -> string -> unit
     path {!save} writes and {!scan} reads. *)
 val csv_path : string -> string -> string
 
+(** [mkdir_p dir] creates [dir] and any missing parents, tolerating
+    directories that already exist (or appear concurrently — two racing
+    writers both succeed).
+    @raise Invalid_argument when [dir] exists and is not a directory. *)
+val mkdir_p : string -> unit
+
 (** [write_manifest dir schemas] writes just the manifest (creating
-    [dir] if needed) — for producers that stream their CSVs themselves,
-    like the scale generator. *)
+    [dir] recursively if needed) — for producers that stream their CSVs
+    themselves, like the scale generator. *)
 val write_manifest : string -> Schema.t list -> unit
 
 (** [manifest dir] reads the schemas listed in [dir/manifest.txt], in

@@ -1,0 +1,205 @@
+(* Versioned, transactional database core (ROADMAP item 1, modeled on
+   project-m36-style snapshot/versioned relations).
+
+   The store owns one {b live} database (the head): relations there are
+   append-only between versions. A {b version handle} is an immutable
+   [Database.t] of [Relation.snapshot] views minted at commit time —
+   O(relations), sharing the live tuple arrays. Transactions buffer
+   tuple deltas (inserts and updates) and [commit] applies them under
+   the store lock:
+
+   - inserts append to the live relation — snapshots bound their index
+     probes by their recorded size, so every older version keeps its
+     exact contents for free;
+   - updates rebuild the touched relation copy-on-write
+     ([Relation.with_tuple]) and swap it into the head — older versions
+     keep pointing at the superseded object, which nobody writes again.
+
+   Commit is first-committer-wins on updates: a transaction that updates
+   a (relation, id) already updated by a version committed after the
+   transaction began conflicts and is rejected (inserts are blind
+   appends and always merge). Subscribers observe every committed delta
+   list — the cache-invalidation hook the learning context uses to
+   re-resolve only affected examples (docs/SERVE.md). *)
+
+type delta =
+  | Insert of { rel : string; tuple : Tuple.t }
+  | Update of { rel : string; id : int; tuple : Tuple.t; previous : Tuple.t }
+
+type version = { vid : int; db : Database.t }
+
+type t = {
+  head : Database.t;
+  lock : Mutex.t;
+  mutable current : version;
+  mutable log : (int * delta list) list; (* newest first *)
+  mutable subscribers : (version -> delta list -> unit) list;
+}
+
+type txn_state = Open | Committed | Aborted
+
+type txn = {
+  store : t;
+  base : version;
+  mutable writes : delta list; (* reverse buffer order *)
+  mutable state : txn_state;
+}
+
+type error =
+  | Conflict of { rel : string; id : int }
+  | Closed
+
+let error_to_string = function
+  | Conflict { rel; id } ->
+      Printf.sprintf "write-write conflict on %s tuple %d" rel id
+  | Closed -> "transaction already committed or aborted"
+
+let of_database db =
+  Database.materialize db;
+  {
+    head = db;
+    lock = Mutex.create ();
+    current = { vid = 0; db = Database.snapshot db };
+    log = [];
+    subscribers = [];
+  }
+
+let head t = t.head
+let version t = Mutex.protect t.lock (fun () -> t.current)
+let version_id v = v.vid
+let database v = v.db
+
+let subscribe t f =
+  Mutex.protect t.lock (fun () -> t.subscribers <- f :: t.subscribers)
+
+let begin_txn t =
+  { store = t; base = version t; writes = []; state = Open }
+
+let base txn = txn.base
+
+let check_open txn =
+  match txn.state with Open -> Ok () | Committed | Aborted -> Error Closed
+
+let schema_of txn rel =
+  (* Arity is validated against the head schema at buffer time so a
+     malformed write fails fast, in the caller, not at commit. *)
+  Relation.schema (Database.find txn.store.head rel)
+
+let insert txn rel tuple =
+  match check_open txn with
+  | Error e -> Error e
+  | Ok () ->
+      if Tuple.arity tuple <> Schema.arity (schema_of txn rel) then
+        invalid_arg
+          (Printf.sprintf "Vdb.insert: arity %d tuple into %s"
+             (Tuple.arity tuple) rel);
+      txn.writes <- Insert { rel; tuple } :: txn.writes;
+      Ok ()
+
+let update txn rel id tuple =
+  match check_open txn with
+  | Error e -> Error e
+  | Ok () ->
+      if Tuple.arity tuple <> Schema.arity (schema_of txn rel) then
+        invalid_arg
+          (Printf.sprintf "Vdb.update: arity %d tuple into %s"
+             (Tuple.arity tuple) rel);
+      let base_rel = Database.find txn.base.db rel in
+      if id < 0 || id >= Relation.cardinality base_rel then
+        invalid_arg (Printf.sprintf "Vdb.update: id %d out of range" id);
+      txn.writes <-
+        Update { rel; id; tuple; previous = Relation.get base_rel id }
+        :: txn.writes;
+      Ok ()
+
+let abort txn = txn.state <- Aborted
+
+let conflicts_with_log txn deltas =
+  (* Updates committed after the transaction's base version, keyed by
+     (rel, id); an intersecting update in [deltas] loses. *)
+  let committed_updates =
+    List.concat_map
+      (fun (vid, ds) ->
+        if vid <= txn.base.vid then []
+        else
+          List.filter_map
+            (function
+              | Update { rel; id; _ } -> Some (rel, id)
+              | Insert _ -> None)
+            ds)
+      txn.store.log
+  in
+  List.find_map
+    (function
+      | Update { rel; id; _ }
+        when List.exists (fun (r, i) -> r = rel && i = id) committed_updates
+        ->
+          Some (rel, id)
+      | Update _ | Insert _ -> None)
+    deltas
+
+let commit txn =
+  match check_open txn with
+  | Error e -> Error e
+  | Ok () ->
+      let t = txn.store in
+      let outcome =
+        Mutex.protect t.lock (fun () ->
+            let deltas = List.rev txn.writes in
+            match conflicts_with_log txn deltas with
+            | Some (rel, id) ->
+                txn.state <- Aborted;
+                Error (Conflict { rel; id })
+            | None ->
+                (* Apply; this cannot raise after the validation above —
+                   arities were checked at buffer time and update ids are
+                   re-checked against the (only-growing) head. *)
+                List.iter
+                  (function
+                    | Insert { rel; tuple } ->
+                        ignore
+                          (Relation.insert (Database.find t.head rel) tuple)
+                    | Update { rel; id; tuple; _ } ->
+                        let live = Database.find t.head rel in
+                        Database.replace_relation t.head
+                          (Relation.with_tuple live id tuple))
+                  deltas;
+                let v =
+                  { vid = t.current.vid + 1; db = Database.snapshot t.head }
+                in
+                t.current <- v;
+                if deltas <> [] then t.log <- (v.vid, deltas) :: t.log;
+                txn.state <- Committed;
+                Ok (v, deltas, t.subscribers))
+      in
+      (* Subscribers run outside the store lock: an invalidation hook may
+         itself read the store (deadlock otherwise). The caller holding a
+         coarser writer lock (the serve loop does) keeps this ordered
+         with respect to other commits. *)
+      match outcome with
+      | Error e -> Error e
+      | Ok (v, deltas, subscribers) ->
+          List.iter (fun f -> f v deltas) subscribers;
+          Ok v
+
+(* One-shot write helpers for callers without multi-statement needs. *)
+let insert_one t rel tuple =
+  let txn = begin_txn t in
+  match insert txn rel tuple with
+  | Error e -> Error e
+  | Ok () -> commit txn
+
+let update_one t rel id tuple =
+  let txn = begin_txn t in
+  match update txn rel id tuple with
+  | Error e -> Error e
+  | Ok () -> commit txn
+
+let changed_tuples deltas =
+  (* Every tuple value a delta touches, old and new — the invalidation
+     universe consumers key on. *)
+  List.map
+    (function
+      | Insert { rel; tuple } -> (rel, [ tuple ])
+      | Update { rel; tuple; previous; _ } -> (rel, [ tuple; previous ]))
+    deltas

@@ -1,0 +1,93 @@
+(** Versioned, transactional database core (ROADMAP item 1).
+
+    [Vdb] wraps a materialized {!Database.t} (the {b head}) with
+    snapshot/versioned semantics: every commit mints an immutable
+    {b version handle} — a database of {!Relation.snapshot} views sharing
+    the live tuple arrays, O(relations) to create — and transactions
+    buffer tuple deltas that apply atomically under the store lock.
+    Inserts append to the live relations (older versions bound their
+    index probes by their recorded sizes, so they keep their exact
+    contents for free); updates rebuild the touched relation
+    copy-on-write and swap it into the head, leaving older versions on
+    the superseded object.
+
+    Concurrency: commits serialize under the store lock; version handles
+    are immutable and safe to read from any domain. Reads of the {b live}
+    head concurrent with a commit are the caller's to order (the serve
+    loop holds a readers–writer lock around requests —
+    docs/SERVE.md). Conflict rule: first-committer-wins on updates to
+    the same (relation, id); inserts always merge. *)
+
+type delta =
+  | Insert of { rel : string; tuple : Tuple.t }
+  | Update of { rel : string; id : int; tuple : Tuple.t; previous : Tuple.t }
+
+type version
+(** An immutable database version. *)
+
+type t
+type txn
+
+type error =
+  | Conflict of { rel : string; id : int }
+      (** another transaction updated this tuple after ours began *)
+  | Closed  (** the transaction was already committed or aborted *)
+
+val error_to_string : error -> string
+
+(** [of_database db] adopts [db] as the head, forcing any pending
+    relations, and mints version 0. The store owns [db] from here on:
+    mutate only through transactions. *)
+val of_database : Database.t -> t
+
+(** The live head database — what a learning context reads. Callers must
+    order their reads against commits (see module docs). *)
+val head : t -> Database.t
+
+(** The latest committed version. *)
+val version : t -> version
+
+val version_id : version -> int
+
+(** The version's immutable database of snapshot relations. *)
+val database : version -> Database.t
+
+(** [subscribe t f] registers [f], called after every successful commit
+    with the new version and its deltas (outside the store lock, in
+    commit order as long as commits are externally serialized). *)
+val subscribe : t -> (version -> delta list -> unit) -> unit
+
+(** {2 Transactions} *)
+
+val begin_txn : t -> txn
+
+(** The version the transaction reads from — its stable snapshot. *)
+val base : txn -> version
+
+(** [insert txn rel tuple] buffers an insert.
+    @raise Invalid_argument on arity mismatch or unknown relation;
+    returns [Error Closed] on a finished transaction. *)
+val insert : txn -> string -> Tuple.t -> (unit, error) result
+
+(** [update txn rel id tuple] buffers an update of tuple [id] (as
+    numbered in the transaction's base version).
+    @raise Invalid_argument on a bad id, arity mismatch or unknown
+    relation; returns [Error Closed] on a finished transaction. *)
+val update : txn -> string -> int -> Tuple.t -> (unit, error) result
+
+(** [commit txn] atomically applies the buffered deltas, mints the next
+    version and notifies subscribers. [Error (Conflict _)] aborts the
+    transaction (first-committer-wins on updates). *)
+val commit : txn -> (version, error) result
+
+val abort : txn -> unit
+
+(** {2 One-shot writes} *)
+
+val insert_one : t -> string -> Tuple.t -> (version, error) result
+val update_one : t -> string -> int -> Tuple.t -> (version, error) result
+
+(** [changed_tuples deltas] lists, per relation, every tuple a delta
+    touches — new values for inserts, new and previous for updates. The
+    invalidation universe cache layers key on. *)
+val changed_tuples : delta list -> (string * Tuple.t list) list

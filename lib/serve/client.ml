@@ -1,0 +1,39 @@
+(* A blocking client for the serve protocol: one connected Unix-domain
+   socket, one request/response exchange at a time. The CI smoke job and
+   the tests drive the server through this. *)
+
+type t = { fd : Unix.file_descr; mutable closed : bool }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with exn ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise exn);
+  { fd; closed = false }
+
+(* Retry the connect while the server is still binding its socket. *)
+let connect_retry ?(attempts = 50) ?(delay = 0.1) path =
+  let rec go n =
+    match connect path with
+    | c -> c
+    | exception (Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) as e)
+      ->
+        if n <= 1 then raise e
+        else begin
+          Thread.delay delay;
+          go (n - 1)
+        end
+  in
+  go attempts
+
+let request t req =
+  if t.closed then invalid_arg "Client.request: closed";
+  Protocol.write_json t.fd req;
+  Protocol.read_json t.fd
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end

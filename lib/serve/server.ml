@@ -1,0 +1,379 @@
+(* The dlearn serve loop: a Unix-domain socket server holding one warm
+   learning state — a versioned database ({!Dlearn_relation.Vdb}), a
+   long-lived {!Dlearn_core.Context} over its head, and the workload's
+   labelled examples — and answering length-prefixed JSON requests
+   ({!Protocol}). Requests share the warm caches: a learn after a small
+   committed delta re-resolves only the invalidated examples instead of
+   rebuilding the context (docs/SERVE.md).
+
+   Concurrency model: one systhread per connection; every request takes
+   a readers–writer lock — learn/coverage/check/query/status share it,
+   insert/update/shutdown take it exclusively. Read requests may fan out
+   over the context's domain pool internally; the RW lock only orders
+   whole requests against commits, which is exactly what the versioned
+   core asks of its caller (relation indexes are not safe under
+   concurrent mutation). Commits invalidate the context through the
+   {!Dlearn_relation.Vdb.subscribe} hook before the writer lock is
+   released, so no read ever sees a new database under stale verdicts. *)
+
+open Dlearn_relation
+open Dlearn_core
+open Dlearn_eval
+module Obs = Dlearn_obs.Obs
+
+(* {2 A small readers-writer lock}
+
+   Writer-preferring: a waiting writer blocks new readers, so a stream
+   of coverage requests cannot starve an insert. Requests are coarse
+   (milliseconds to seconds), so fairness matters more than throughput
+   of the lock itself. *)
+module Rwlock = struct
+  type t = {
+    m : Mutex.t;
+    turn : Condition.t;
+    mutable readers : int;
+    mutable writing : bool;
+    mutable waiting_writers : int;
+  }
+
+  let create () =
+    {
+      m = Mutex.create ();
+      turn = Condition.create ();
+      readers = 0;
+      writing = false;
+      waiting_writers = 0;
+    }
+
+  let read t f =
+    Mutex.protect t.m (fun () ->
+        while t.writing || t.waiting_writers > 0 do
+          Condition.wait t.turn t.m
+        done;
+        t.readers <- t.readers + 1);
+    Fun.protect f ~finally:(fun () ->
+        Mutex.protect t.m (fun () ->
+            t.readers <- t.readers - 1;
+            Condition.broadcast t.turn))
+
+  let write t f =
+    Mutex.protect t.m (fun () ->
+        t.waiting_writers <- t.waiting_writers + 1;
+        while t.writing || t.readers > 0 do
+          Condition.wait t.turn t.m
+        done;
+        t.waiting_writers <- t.waiting_writers - 1;
+        t.writing <- true);
+    Fun.protect f ~finally:(fun () ->
+        Mutex.protect t.m (fun () ->
+            t.writing <- false;
+            Condition.broadcast t.turn))
+end
+
+type t = {
+  workload : Workload.t;
+  vdb : Vdb.t;
+  ctx : Context.t;
+  rw : Rwlock.t;
+  last_invalidated : int Atomic.t;
+      (* examples invalidated by the most recent commit, stamped by the
+         subscriber so write responses can report it *)
+  stop : bool Atomic.t;
+}
+
+let requests_c = Obs.counter "serve.requests"
+let errors_c = Obs.counter "serve.errors"
+let connections_c = Obs.counter "serve.connections"
+
+let create workload =
+  let vdb = Vdb.of_database workload.Workload.db in
+  (* The context reads the vdb's live head: commits mutate it in place
+     (inserts) or swap relations (updates), and the subscriber below
+     invalidates exactly the state those deltas can touch. *)
+  let ctx =
+    Context.create workload.Workload.config (Vdb.head vdb)
+      workload.Workload.mds workload.Workload.cfds
+  in
+  let t =
+    {
+      workload;
+      vdb;
+      ctx;
+      rw = Rwlock.create ();
+      last_invalidated = Atomic.make 0;
+      stop = Atomic.make false;
+    }
+  in
+  Vdb.subscribe vdb (fun _version deltas ->
+      let n = Context.apply_delta ctx (Vdb.changed_tuples deltas) in
+      Atomic.set t.last_invalidated n);
+  t
+
+let workload t = t.workload
+let context t = t.ctx
+let vdb t = t.vdb
+
+(* {2 Request handlers} *)
+
+let take n l =
+  if n < 0 then invalid_arg "take: negative count"
+  else List.filteri (fun i _ -> i < n) l
+
+let field_exn name req =
+  match Json.member name req with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "missing field %S" name)
+
+let string_exn name req =
+  match Json.string_field name req with
+  | Some s -> s
+  | None -> failwith (Printf.sprintf "missing string field %S" name)
+
+let tuple_exn name req =
+  match field_exn name req with
+  | Json.List items ->
+      Tuple.of_strings
+        (List.map
+           (function
+             | Json.String s -> s
+             | _ -> failwith (Printf.sprintf "field %S: expected strings" name))
+           items)
+  | _ -> failwith (Printf.sprintf "field %S: expected an array" name)
+
+let handle_status t =
+  let db = Vdb.head t.vdb in
+  Protocol.ok
+    [
+      ("dataset", Json.String t.workload.Workload.name);
+      ("version", Json.Int (Vdb.version_id (Vdb.version t.vdb)));
+      ("relations", Json.Int (List.length (Database.relation_names db)));
+      ("tuples", Json.Int (Database.total_tuples db));
+      ("pos", Json.Int (List.length t.workload.Workload.pos));
+      ("neg", Json.Int (List.length t.workload.Workload.neg));
+      ("cached_examples", Json.Int (Context.example_count t.ctx));
+    ]
+
+let handle_learn t req =
+  let pos = t.workload.Workload.pos and neg = t.workload.Workload.neg in
+  let pos =
+    match Json.int_field "pos" req with Some n -> take n pos | None -> pos
+  in
+  let neg =
+    match Json.int_field "neg" req with Some n -> take n neg | None -> neg
+  in
+  (* Rewind the sampling stream: a warm learn must draw exactly the
+     samples a cold run would, so definitions are byte-identical. *)
+  Context.reset_rng t.ctx;
+  let r = Learner.learn t.ctx ~pos ~neg in
+  Protocol.ok
+    [
+      ( "clauses",
+        Json.List
+          (List.map
+             (fun c -> Json.String (Dlearn_logic.Clause.to_string c))
+             r.Learner.definition.Dlearn_logic.Definition.clauses) );
+      ( "stats",
+        Json.List
+          (List.map
+             (fun s ->
+               Json.Obj
+                 [
+                   ("pos_covered", Json.Int s.Learner.pos_covered);
+                   ("neg_covered", Json.Int s.Learner.neg_covered);
+                 ])
+             r.Learner.stats) );
+      ("seconds", Json.Float r.Learner.seconds);
+      ("seeds_skipped", Json.Int r.Learner.seeds_skipped);
+      ("version", Json.Int (Vdb.version_id (Vdb.version t.vdb)));
+    ]
+
+let parse_clause_exn text =
+  match Dlearn_logic.Parser.clause text with
+  | Ok c -> c
+  | Error msg -> failwith ("clause does not parse: " ^ msg)
+
+let handle_coverage t req =
+  let c = parse_clause_exn (string_exn "clause" req) in
+  let prepared = Coverage.prepare t.ctx c in
+  let p, n =
+    Coverage.coverage t.ctx prepared ~pos:t.workload.Workload.pos
+      ~neg:t.workload.Workload.neg
+  in
+  Protocol.ok
+    [
+      ("pos_covered", Json.Int p);
+      ("neg_covered", Json.Int n);
+      ("pos", Json.Int (List.length t.workload.Workload.pos));
+      ("neg", Json.Int (List.length t.workload.Workload.neg));
+    ]
+
+let handle_check t req =
+  let open Dlearn_analysis in
+  let clauses =
+    match Json.list_field "clauses" req with
+    | Some items ->
+        List.map
+          (function
+            | Json.String s -> s
+            | _ -> failwith "field \"clauses\": expected strings")
+          items
+    | None -> []
+  in
+  let target = t.workload.Workload.config.Config.target in
+  let db = Vdb.head t.vdb in
+  let constraint_ds =
+    Analyzer.check_constraints db ~mds:t.workload.Workload.mds
+      ~cfds:t.workload.Workload.cfds
+  in
+  let clause_ds =
+    List.concat_map
+      (fun text ->
+        match Dlearn_logic.Parser.clause text with
+        | Error msg ->
+            [
+              Diagnostic.error ~code:"DL001" ~subject:Diagnostic.General
+                ~witness:text ("clause does not parse: " ^ msg);
+            ]
+        | Ok c -> Analyzer.check_clause db ~target c)
+      clauses
+  in
+  let ds = constraint_ds @ clause_ds in
+  (* The analyzer already renders JSON; re-parse to embed structurally. *)
+  Protocol.ok
+    [
+      ("diagnostics", Json.of_string (Diagnostic.report_to_json ds));
+      ("errors", Json.Bool (Diagnostic.has_errors ds));
+    ]
+
+let handle_query t req =
+  let c = parse_clause_exn (string_exn "clause" req) in
+  let limit =
+    match Json.int_field "limit" req with Some n -> n | None -> 25
+  in
+  let oracle =
+    Dlearn_query.Conjunctive.oracle_of_spec
+      t.workload.Workload.config.Config.sim
+  in
+  let rows =
+    Dlearn_query.Conjunctive.answers ~limit (Vdb.head t.vdb) oracle c
+  in
+  Protocol.ok
+    [
+      ( "rows",
+        Json.List
+          (List.map
+             (fun tu ->
+               Json.List
+                 (List.init (Tuple.arity tu) (fun i ->
+                      Json.String (Value.to_string (Tuple.get tu i)))))
+             rows) );
+    ]
+
+let write_response t = function
+  | Ok version ->
+      Protocol.ok
+        [
+          ("version", Json.Int (Vdb.version_id version));
+          ("invalidated", Json.Int (Atomic.get t.last_invalidated));
+        ]
+  | Error e -> Protocol.error (Vdb.error_to_string e)
+
+let handle_insert t req =
+  let rel = string_exn "relation" req in
+  let tuple = tuple_exn "values" req in
+  write_response t (Vdb.insert_one t.vdb rel tuple)
+
+let handle_update t req =
+  let rel = string_exn "relation" req in
+  let id =
+    match Json.int_field "id" req with
+    | Some id -> id
+    | None -> failwith "missing int field \"id\""
+  in
+  let tuple = tuple_exn "values" req in
+  write_response t (Vdb.update_one t.vdb rel id tuple)
+
+let handle_metrics () =
+  (* [report_json] renders the registry; re-parse to embed. *)
+  Protocol.ok [ ("metrics", Json.of_string (Obs.report_json ())) ]
+
+(* Dispatch one request. Reads share the RW lock; writes (and shutdown)
+   exclude them. Every handler error becomes an {"ok":false} response —
+   a bad request must not kill the connection, let alone the server. *)
+let handle t req =
+  Obs.incr requests_c;
+  let op = Protocol.op_of_request req in
+  let dispatch () =
+    match op with
+    | "ping" -> Protocol.ok [ ("pong", Json.Bool true) ]
+    | "status" -> Rwlock.read t.rw (fun () -> handle_status t)
+    | "learn" -> Rwlock.read t.rw (fun () -> handle_learn t req)
+    | "coverage" -> Rwlock.read t.rw (fun () -> handle_coverage t req)
+    | "check" -> Rwlock.read t.rw (fun () -> handle_check t req)
+    | "query" -> Rwlock.read t.rw (fun () -> handle_query t req)
+    | "insert" -> Rwlock.write t.rw (fun () -> handle_insert t req)
+    | "update" -> Rwlock.write t.rw (fun () -> handle_update t req)
+    | "metrics" -> handle_metrics ()
+    | "shutdown" ->
+        Atomic.set t.stop true;
+        Protocol.ok []
+    | other -> Protocol.error (Printf.sprintf "unknown op %S" other)
+  in
+  try Obs.span ("serve." ^ op) dispatch
+  with exn ->
+    Obs.incr errors_c;
+    Protocol.error (Printexc.to_string exn)
+
+(* {2 The socket loop} *)
+
+let rec accept_ready fd stop =
+  (* Block in [select] with a short timeout so a shutdown request (or
+     signal handler setting [stop]) is noticed without a connection. *)
+  if Atomic.get stop then None
+  else
+    match Unix.select [ fd ] [] [] 0.2 with
+    | [ _ ], _, _ -> Some (fst (Unix.accept fd))
+    | _ -> accept_ready fd stop
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_ready fd stop
+
+let serve_connection t fd =
+  Obs.incr connections_c;
+  let rec loop () =
+    match Protocol.read_json fd with
+    | req ->
+        Protocol.write_json fd (handle t req);
+        if not (Atomic.get t.stop) then loop ()
+    | exception End_of_file -> ()
+    | exception Protocol.Protocol_error msg ->
+        Obs.incr errors_c;
+        (try Protocol.write_json fd (Protocol.error msg)
+         with Unix.Unix_error _ -> ())
+  in
+  Fun.protect loop ~finally:(fun () ->
+      try Unix.close fd with Unix.Unix_error _ -> ())
+
+let run t ~socket_path =
+  if Sys.file_exists socket_path then Sys.remove socket_path;
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    (fun () ->
+      Unix.bind listener (Unix.ADDR_UNIX socket_path);
+      Unix.listen listener 16;
+      let threads = ref [] in
+      let rec accept_loop () =
+        match accept_ready listener t.stop with
+        | None -> ()
+        | Some conn ->
+            threads :=
+              Thread.create (fun () -> serve_connection t conn) () :: !threads;
+            accept_loop ()
+      in
+      accept_loop ();
+      (* Drain: connections observe [stop] after their in-flight request
+         (or close on their own); join so the caller sees quiescence. *)
+      List.iter Thread.join !threads)
+    ~finally:(fun () ->
+      (try Unix.close listener with Unix.Unix_error _ -> ());
+      if Sys.file_exists socket_path then Sys.remove socket_path)
+
+let stop t = Atomic.set t.stop true

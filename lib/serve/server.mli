@@ -1,0 +1,46 @@
+(** The dlearn serve loop (docs/SERVE.md): one warm learning state — a
+    versioned database ({!Dlearn_relation.Vdb}), a long-lived
+    {!Dlearn_core.Context} over its head, the workload's labelled
+    examples — behind a Unix-domain socket speaking the {!Protocol}
+    frames. Concurrent requests take a writer-preferring readers–writer
+    lock: [learn]/[coverage]/[check]/[query]/[status] share it,
+    [insert]/[update] exclude them, so every read sees a committed
+    version and commits invalidate the warm caches
+    ({!Dlearn_core.Context.apply_delta}) before any read can observe the
+    new data.
+
+    Operations (request [op] field): [ping], [status], [learn] (optional
+    [pos]/[neg] prefix sizes), [coverage] (clause), [check] (optional
+    clause list), [query] (clause, optional limit), [insert] / [update]
+    (relation, values, id for update), [metrics], [shutdown]. Every
+    request is timed under a [serve.<op>] span; [serve.requests],
+    [serve.errors] and [serve.connections] count on the
+    {!Dlearn_obs.Obs} registry. *)
+
+type t
+(** The warm server state. Usable directly in-process ({!handle}) — the
+    tests and the warm-path benchmark drive it without a socket. *)
+
+val create : Dlearn_eval.Workload.t -> t
+(** Adopt the workload's database into a {!Dlearn_relation.Vdb}, build
+    the long-lived context over its head, and subscribe the
+    cache-invalidation hook. The workload's database must not be mutated
+    behind the server's back afterwards. *)
+
+val workload : t -> Dlearn_eval.Workload.t
+val context : t -> Dlearn_core.Context.t
+val vdb : t -> Dlearn_relation.Vdb.t
+
+val handle : t -> Json.t -> Json.t
+(** Dispatch one request under the RW lock and return the response
+    envelope. Handler failures (bad fields, parse errors, learner
+    rejections) become [{"ok":false}] responses, never exceptions. *)
+
+val run : t -> socket_path:string -> unit
+(** Bind the socket (removing a stale file first), accept connections —
+    one systhread each — and serve until a [shutdown] request (or
+    {!stop}) is observed; joins the connection threads and removes the
+    socket file before returning. *)
+
+val stop : t -> unit
+(** Ask the accept loop to stop; safe from any thread or signal. *)

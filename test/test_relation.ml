@@ -587,6 +587,293 @@ let stress_tests =
           (List.length (Relation.distinct_values r 1)));
   ]
 
+let snapshot_tests =
+  [
+    Alcotest.test_case "snapshot does not see later inserts" `Quick (fun () ->
+        let r = movies_relation () in
+        let s = Relation.snapshot r in
+        Alcotest.(check bool) "is_snapshot" true (Relation.is_snapshot s);
+        Alcotest.(check bool) "live is not" false (Relation.is_snapshot r);
+        ignore (Relation.insert r (Tuple.of_strings [ "m4"; "New"; "y2020" ]));
+        Alcotest.(check int) "snapshot bounded" 3 (Relation.cardinality s);
+        Alcotest.(check int) "live grew" 4 (Relation.cardinality r);
+        (* Index probes share the live relation's indexes but filter by
+           the recorded size: the new tuple is invisible through them. *)
+        Alcotest.(check int) "live probe sees it" 1
+          (List.length (Relation.select_eq r 0 (Value.String "m4")));
+        Alcotest.(check int) "snapshot probe does not" 0
+          (List.length (Relation.select_eq s 0 (Value.String "m4")));
+        Alcotest.(check bool) "distinct_values bounded" false
+          (List.exists
+             (fun v -> Value.equal v (Value.String "m4"))
+             (Relation.distinct_values s 0)))
+    ;
+    Alcotest.test_case "insert into a snapshot raises" `Quick (fun () ->
+        let s = Relation.snapshot (movies_relation ()) in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Relation.insert s (Tuple.of_strings [ "x"; "y"; "z" ]));
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "with_tuple is copy-on-write" `Quick (fun () ->
+        let r = movies_relation () in
+        let s = Relation.snapshot r in
+        let updated = Tuple.of_strings [ "m1"; "Superbad"; "y2007" ] in
+        let r' = Relation.with_tuple r 0 updated in
+        Alcotest.(check bool) "new relation updated" true
+          (Tuple.equal (Relation.get r' 0) updated);
+        Alcotest.(check bool) "original untouched" true
+          (Tuple.equal (Relation.get r 0) (Relation.get s 0));
+        Alcotest.(check int) "same cardinality" (Relation.cardinality r)
+          (Relation.cardinality r');
+        Alcotest.(check int) "other ids preserved" 1
+          (List.length (Relation.select_eq r' 0 (Value.String "m2"))));
+    Alcotest.test_case "with_tuple validates id and arity" `Quick (fun () ->
+        let r = movies_relation () in
+        List.iter
+          (fun f ->
+            Alcotest.(check bool) "raises" true
+              (try
+                 ignore (f ());
+                 false
+               with Invalid_argument _ -> true))
+          [
+            (fun () -> Relation.with_tuple r 99 (Tuple.of_strings [ "a"; "b"; "c" ]));
+            (fun () -> Relation.with_tuple r 0 (Tuple.of_strings [ "a" ]));
+          ]);
+  ]
+
+let vdb_tests =
+  let fresh_store () =
+    let db = Database.create () in
+    Database.add_relation db (movies_relation ());
+    Vdb.of_database db
+  in
+  [
+    Alcotest.test_case "insert is invisible to earlier versions" `Quick
+      (fun () ->
+        let store = fresh_store () in
+        let v0 = Vdb.version store in
+        (match Vdb.insert_one store "movies" (Tuple.of_strings [ "m4"; "New"; "y2020" ]) with
+        | Ok v1 ->
+            Alcotest.(check int) "version advanced" 1 (Vdb.version_id v1);
+            Alcotest.(check int) "v1 sees it" 4
+              (Relation.cardinality (Database.find (Vdb.database v1) "movies"))
+        | Error e -> Alcotest.failf "commit failed: %s" (Vdb.error_to_string e));
+        Alcotest.(check int) "v0 does not" 3
+          (Relation.cardinality (Database.find (Vdb.database v0) "movies"));
+        Alcotest.(check int) "head does" 4
+          (Relation.cardinality (Database.find (Vdb.head store) "movies")));
+    Alcotest.test_case "update is copy-on-write across versions" `Quick
+      (fun () ->
+        let store = fresh_store () in
+        let v0 = Vdb.version store in
+        let before = Relation.get (Database.find (Vdb.database v0) "movies") 0 in
+        let updated = Tuple.of_strings [ "m1"; "Renamed"; "y2007" ] in
+        (match Vdb.update_one store "movies" 0 updated with
+        | Ok v1 ->
+            Alcotest.(check bool) "v1 updated" true
+              (Tuple.equal
+                 (Relation.get (Database.find (Vdb.database v1) "movies") 0)
+                 updated)
+        | Error e -> Alcotest.failf "commit failed: %s" (Vdb.error_to_string e));
+        Alcotest.(check bool) "v0 keeps the old tuple" true
+          (Tuple.equal
+             (Relation.get (Database.find (Vdb.database v0) "movies") 0)
+             before));
+    Alcotest.test_case "first committer wins on update conflicts" `Quick
+      (fun () ->
+        let store = fresh_store () in
+        let t1 = Vdb.begin_txn store and t2 = Vdb.begin_txn store in
+        (match Vdb.update t1 "movies" 0 (Tuple.of_strings [ "m1"; "A"; "y" ]) with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "buffer: %s" (Vdb.error_to_string e));
+        (match Vdb.update t2 "movies" 0 (Tuple.of_strings [ "m1"; "B"; "y" ]) with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "buffer: %s" (Vdb.error_to_string e));
+        (match Vdb.commit t1 with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "t1: %s" (Vdb.error_to_string e));
+        (match Vdb.commit t2 with
+        | Error (Vdb.Conflict { rel; id }) ->
+            Alcotest.(check string) "relation" "movies" rel;
+            Alcotest.(check int) "id" 0 id
+        | Ok _ -> Alcotest.fail "t2 should conflict"
+        | Error e -> Alcotest.failf "unexpected: %s" (Vdb.error_to_string e)));
+    Alcotest.test_case "insert transactions always merge" `Quick (fun () ->
+        let store = fresh_store () in
+        let t1 = Vdb.begin_txn store and t2 = Vdb.begin_txn store in
+        ignore (Vdb.insert t1 "movies" (Tuple.of_strings [ "m4"; "A"; "y" ]));
+        ignore (Vdb.insert t2 "movies" (Tuple.of_strings [ "m5"; "B"; "y" ]));
+        (match (Vdb.commit t1, Vdb.commit t2) with
+        | Ok _, Ok v2 ->
+            Alcotest.(check int) "both applied" 5
+              (Relation.cardinality (Database.find (Vdb.database v2) "movies"))
+        | _ -> Alcotest.fail "insert-only transactions must both commit"));
+    Alcotest.test_case "abort discards buffered writes" `Quick (fun () ->
+        let store = fresh_store () in
+        let t = Vdb.begin_txn store in
+        ignore (Vdb.insert t "movies" (Tuple.of_strings [ "m4"; "A"; "y" ]));
+        Vdb.abort t;
+        Alcotest.(check int) "nothing applied" 3
+          (Relation.cardinality (Database.find (Vdb.head store) "movies"));
+        Alcotest.(check int) "no version minted" 0
+          (Vdb.version_id (Vdb.version store));
+        match Vdb.insert t "movies" (Tuple.of_strings [ "m5"; "B"; "y" ]) with
+        | Error Vdb.Closed -> ()
+        | _ -> Alcotest.fail "writes after abort must report Closed");
+    Alcotest.test_case "subscribers see commits with their deltas" `Quick
+      (fun () ->
+        let store = fresh_store () in
+        let seen = ref [] in
+        Vdb.subscribe store (fun v deltas ->
+            seen := (Vdb.version_id v, Vdb.changed_tuples deltas) :: !seen);
+        let extra = Tuple.of_strings [ "m4"; "New"; "y2020" ] in
+        ignore (Vdb.insert_one store "movies" extra);
+        let updated = Tuple.of_strings [ "m1"; "Renamed"; "y2007" ] in
+        ignore (Vdb.update_one store "movies" 0 updated);
+        match List.rev !seen with
+        | [ (1, [ ("movies", [ t1 ]) ]); (2, [ ("movies", [ t2; prev ]) ]) ]
+          ->
+            Alcotest.(check bool) "insert delta" true (Tuple.equal t1 extra);
+            Alcotest.(check bool) "update delta" true (Tuple.equal t2 updated);
+            Alcotest.(check bool) "previous value" true
+              (Tuple.equal prev (Tuple.of_strings [ "m1"; "Superbad (2007)"; "y2007" ]))
+        | other ->
+            Alcotest.failf "unexpected notifications: %d" (List.length other));
+  ]
+
+(* Regression pins for the lazy-database fixes: summaries must not force
+   pending relations, and the find fast path must be safe under
+   multi-domain contention with loads in flight. *)
+let lazy_db_tests =
+  [
+    Alcotest.test_case "pp_summary and total_tuples never force" `Quick
+      (fun () ->
+        let db = Database.create () in
+        Database.add_relation db (movies_relation ());
+        let calls = ref 0 in
+        Database.add_lazy db "lazy" (fun () ->
+            incr calls;
+            let r = Relation.create (Schema.string_attrs "lazy" [ "id" ]) in
+            ignore (Relation.insert r (Tuple.of_strings [ "x" ]));
+            r);
+        let summary = Format.asprintf "%a" Database.pp_summary db in
+        Alcotest.(check bool) "summary reports pending" true
+          (let sub = "pending" in
+           let rec contains i =
+             i + String.length sub <= String.length summary
+             && (String.sub summary i (String.length sub) = sub
+                || contains (i + 1))
+           in
+           contains 0);
+        Alcotest.(check int) "loaded tuples only" 3 (Database.total_tuples db);
+        Alcotest.(check int) "loader never ran" 0 !calls;
+        Alcotest.(check bool) "still pending" false
+          (Database.is_loaded db "lazy"));
+    Alcotest.test_case "copy preserves pending relations unforced" `Quick
+      (fun () ->
+        let db = Database.create () in
+        let calls = ref 0 in
+        Database.add_lazy db "lazy" (fun () ->
+            incr calls;
+            let r = Relation.create (Schema.string_attrs "lazy" [ "id" ]) in
+            ignore (Relation.insert r (Tuple.of_strings [ "x" ]));
+            r);
+        let db' = Database.copy db in
+        Alcotest.(check int) "copy does not force" 0 !calls;
+        Alcotest.(check bool) "copy still pending" false
+          (Database.is_loaded db' "lazy");
+        (* Forcing the copy leaves the original untouched. *)
+        Alcotest.(check int) "copy loads on demand" 1
+          (Relation.cardinality (Database.find db' "lazy"));
+        Alcotest.(check bool) "original still pending" false
+          (Database.is_loaded db "lazy"));
+    Alcotest.test_case "concurrent lazy find is race-free" `Quick (fun () ->
+        (* Regression: the find fast path read the table unlocked while
+           loaders ran [Hashtbl.replace] on it. With loads in flight every
+           lookup must serialize; afterwards the atomic pending counter
+           publishes the loaded table to lock-free readers. *)
+        let db = Database.create () in
+        let rels = 8 in
+        for i = 0 to rels - 1 do
+          let name = Printf.sprintf "r%d" i in
+          Database.add_lazy db name (fun () ->
+              let r = Relation.create (Schema.string_attrs name [ "id" ]) in
+              for j = 0 to 99 do
+                ignore
+                  (Relation.insert r (Tuple.of_strings [ Printf.sprintf "k%d" j ]))
+              done;
+              r)
+        done;
+        let workers =
+          List.init 4 (fun d ->
+              Domain.spawn (fun () ->
+                  let ok = ref true in
+                  for k = 0 to 2_499 do
+                    let name = Printf.sprintf "r%d" ((k + d) land (rels - 1)) in
+                    let r = Database.find db name in
+                    if Relation.cardinality r <> 100 then ok := false
+                  done;
+                  !ok))
+        in
+        List.iter
+          (fun w ->
+            Alcotest.(check bool) "every lookup consistent" true (Domain.join w))
+          workers;
+        Alcotest.(check int) "all loaded exactly once" 0
+          (Database.pending_count db));
+  ]
+
+(* Regression pins for Storage.mkdir_p / write_manifest: nested target
+   directories and already-existing directories must both work. *)
+let mkdir_tests =
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+  in
+  let with_temp_root f =
+    let root = Filename.temp_file "dlearn_mkdir" "" in
+    Sys.remove root;
+    Fun.protect ~finally:(fun () -> rm_rf root) (fun () -> f root)
+  in
+  [
+    Alcotest.test_case "mkdir_p creates nested directories" `Quick (fun () ->
+        with_temp_root (fun root ->
+            let deep = Filename.concat (Filename.concat root "a") "b" in
+            Storage.mkdir_p deep;
+            Alcotest.(check bool) "directory exists" true (Sys.is_directory deep);
+            (* Idempotent over an existing directory — the TOCTOU pin. *)
+            Storage.mkdir_p deep;
+            Alcotest.(check bool) "still there" true (Sys.is_directory deep)));
+    Alcotest.test_case "mkdir_p rejects a file in the way" `Quick (fun () ->
+        let file = Filename.temp_file "dlearn_mkdir_file" "" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove file)
+          (fun () ->
+            Alcotest.(check bool) "raises" true
+              (try
+                 Storage.mkdir_p file;
+                 false
+               with Invalid_argument _ -> true)));
+    Alcotest.test_case "write_manifest creates nested directories" `Quick
+      (fun () ->
+        with_temp_root (fun root ->
+            let dir = Filename.concat (Filename.concat root "x") "y" in
+            let schema = Schema.string_attrs "m" [ "id"; "title" ] in
+            Storage.write_manifest dir [ schema ];
+            Alcotest.(check int) "manifest readable" 1
+              (List.length (Storage.manifest dir));
+            (* Rewriting over the existing directory must not raise. *)
+            Storage.write_manifest dir [ schema ];
+            Alcotest.(check int) "still one schema" 1
+              (List.length (Storage.manifest dir))));
+  ]
+
 let () =
   Alcotest.run "relation"
     [
@@ -602,4 +889,8 @@ let () =
       ("streaming", streaming_tests);
       ("stress", stress_tests);
       ("properties", qcheck_tests);
+      ("snapshot", snapshot_tests);
+      ("vdb", vdb_tests);
+      ("lazy_db", lazy_db_tests);
+      ("mkdir", mkdir_tests);
     ]
